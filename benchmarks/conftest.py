@@ -1,0 +1,111 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper figure has one bench module.  Figures that share a parameter
+sweep (4+5 share the cache sweep; 6+7+8 share the consistency sweep)
+compute it once in a session-scoped fixture so the suite stays fast.
+
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — minutes for the whole suite; the paper's
+  qualitative shapes hold but curves are noisy.
+* ``paper`` — the full §6.1 parameters (80 nodes, long runs, multiple
+  seeds); expect roughly an hour.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    run_fig4_fig5,
+    run_fig6_fig7_fig8,
+    run_fig9a,
+    run_fig9b,
+)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+if SCALE == "paper":
+    CACHE_SWEEP_KW = dict(
+        cache_fractions=(0.005, 0.010, 0.015, 0.020, 0.025),
+        n_nodes=80,
+        duration=1500.0,
+        warmup=300.0,
+        seeds=(1, 2, 3),
+        n_items=1000,
+    )
+    CONSISTENCY_KW = dict(
+        update_ratios=(1.0, 2.0, 3.0, 4.0, 5.0),
+        n_nodes=80,
+        duration=1500.0,
+        warmup=300.0,
+        seeds=(1, 2, 3),
+        n_items=1000,
+    )
+    FIG9A_KW = dict(
+        node_counts=(20, 40, 60, 80), duration=1200.0, warmup=200.0, seeds=(1, 2),
+        n_items=300,
+    )
+    FIG9B_KW = dict(
+        region_counts=(1, 4, 9, 16, 25), duration=1200.0, warmup=200.0, seeds=(1, 2),
+        n_items=300,
+    )
+else:
+    CACHE_SWEEP_KW = dict(
+        cache_fractions=(0.005, 0.015, 0.025),
+        n_nodes=80,
+        duration=1000.0,
+        warmup=200.0,
+        seeds=(1, 2),
+        n_items=1000,
+    )
+    CONSISTENCY_KW = dict(
+        update_ratios=(1.0, 3.0, 5.0),
+        n_nodes=80,
+        duration=500.0,
+        warmup=100.0,
+        seeds=(1,),
+        n_items=1000,
+    )
+    FIG9A_KW = dict(
+        node_counts=(20, 40, 60, 80), duration=400.0, warmup=80.0, seeds=(1,),
+        n_items=200,
+    )
+    FIG9B_KW = dict(
+        region_counts=(1, 4, 9, 16, 25), duration=400.0, warmup=80.0, seeds=(1,),
+        n_items=200,
+    )
+
+
+@pytest.fixture(scope="session")
+def cache_sweep():
+    """Figs. 4-5 data: GD-LD vs GD-Size across cache sizes."""
+    return run_fig4_fig5(**CACHE_SWEEP_KW)
+
+
+@pytest.fixture(scope="session")
+def consistency_sweep():
+    """Figs. 6-8 data: three consistency schemes across update ratios."""
+    return run_fig6_fig7_fig8(**CONSISTENCY_KW)
+
+
+@pytest.fixture(scope="session")
+def energy_vs_nodes():
+    """Fig. 9(a) data: energy per request vs node count."""
+    return run_fig9a(**FIG9A_KW)
+
+
+@pytest.fixture(scope="session")
+def energy_vs_regions():
+    """Fig. 9(b) data: energy per request vs region count."""
+    return run_fig9b(**FIG9B_KW)
+
+
+def by(points, **attrs):
+    """Filter sweep points by attribute values."""
+    out = points
+    for name, value in attrs.items():
+        out = [p for p in out if getattr(p, name) == value]
+    return out

@@ -1,0 +1,238 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's evaluation:
+
+* GD-LD weight sensitivity — does the region-distance term (the paper's
+  novelty over GD-Size) actually carry weight?
+* TTR smoothing factor alpha (eq. 2) — freshness vs poll traffic.
+* Cache admission control on/off — does refusing same-region caching help?
+* Replication on/off under node failures — availability vs overhead.
+* Region count under *mobility* — the paper's explicit future work
+  (§7: "an exhaustive ... investigation on the impact of region size").
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.network import PReCinCtNetwork
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+if SCALE == "paper":
+    DURATION, WARMUP, SEEDS = 1500.0, 300.0, (1, 2, 3)
+else:
+    DURATION, WARMUP, SEEDS = 500.0, 100.0, (1, 2)
+
+BASE = SimulationConfig(
+    n_nodes=80,
+    max_speed=6.0,
+    duration=DURATION,
+    warmup=WARMUP,
+    cache_fraction=0.01,
+)
+
+
+def run_mean(cfg: SimulationConfig, attr_fns):
+    """Run over SEEDS; return the per-attribute means."""
+    rows = []
+    for seed in SEEDS:
+        report = PReCinCtNetwork(replace(cfg, seed=seed)).run()
+        rows.append([fn(report) for fn in attr_fns])
+    n = len(rows)
+    return [sum(r[i] for r in rows) / n for i in range(len(attr_fns))]
+
+
+def test_ablation_gdld_distance_weight(benchmark):
+    """Zeroing GD-LD's region-distance term degrades (or at best
+    matches) byte hit ratio — the term earns its place."""
+    results = {}
+
+    def sweep():
+        for label, wd in (("wd=0", 0.0), ("wd=default", 0.01), ("wd=10x", 0.1)):
+            cfg = replace(BASE, replacement_policy="gd-ld", gdld_wd=wd)
+            (bhr, lat) = run_mean(
+                cfg, [lambda r: r.byte_hit_ratio, lambda r: r.average_latency]
+            )
+            results[label] = (bhr, lat)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: GD-LD region-distance weight ===")
+    for label, (bhr, lat) in results.items():
+        print(f"  {label:<12} byte-hit={bhr:.4f}  latency={lat:.4f}s")
+    # Sanity only: all variants function; exact ordering is workload
+    # dependent at quick scale.
+    for bhr, lat in results.values():
+        assert 0.0 < bhr < 1.0 and lat > 0
+
+
+def test_ablation_ttr_alpha(benchmark):
+    """eq. 2's alpha trades consistency traffic against freshness."""
+    results = {}
+
+    def sweep():
+        for alpha in (0.1, 0.5, 0.9):
+            cfg = replace(
+                BASE,
+                consistency="push-adaptive-pull",
+                t_update=60.0,
+                ttr_alpha=alpha,
+                cache_fraction=0.02,
+            )
+            (fhr, msgs) = run_mean(
+                cfg,
+                [lambda r: r.false_hit_ratio, lambda r: r.consistency_messages],
+            )
+            results[alpha] = (fhr, msgs)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: TTR smoothing factor alpha ===")
+    for alpha, (fhr, msgs) in sorted(results.items()):
+        print(f"  alpha={alpha:.1f}  FHR={fhr:.5f}  consistency msgs={msgs:.0f}")
+    for fhr, msgs in results.values():
+        assert msgs > 0
+
+
+def test_ablation_admission_control(benchmark):
+    """§3.2's rule (never cache same-region data) should not hurt — the
+    regional copy is reachable anyway, so capacity is better spent on
+    cross-region data."""
+    results = {}
+
+    def sweep():
+        for label, on in (("admission-on", True), ("admission-off", False)):
+            cfg = replace(BASE, admission_control=on, cache_fraction=0.01)
+            (bhr, lat) = run_mean(
+                cfg, [lambda r: r.byte_hit_ratio, lambda r: r.average_latency]
+            )
+            results[label] = (bhr, lat)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: cache admission control ===")
+    for label, (bhr, lat) in results.items():
+        print(f"  {label:<14} byte-hit={bhr:.4f}  latency={lat:.4f}s")
+    on_bhr = results["admission-on"][0]
+    off_bhr = results["admission-off"][0]
+    assert on_bhr >= off_bhr * 0.9  # the rule must not cost much
+
+
+def test_ablation_replication_under_failures(benchmark):
+    """§2.4's replica region buys availability when custodians crash."""
+    results = {}
+
+    def run_one(enable_replication: bool, seed: int) -> float:
+        cfg = replace(
+            BASE, enable_replication=enable_replication, seed=seed,
+        )
+        net = PReCinCtNetwork(cfg)
+        for node in range(0, cfg.n_nodes, 4):  # crash 25 %
+            net.sim.schedule(WARMUP + 50.0, net.network.fail_node, node)
+        return net.run().delivery_ratio
+
+    def sweep():
+        for label, on in (("replication-on", True), ("replication-off", False)):
+            ratios = [run_one(on, seed) for seed in SEEDS]
+            results[label] = sum(ratios) / len(ratios)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: replication under 25% node failures ===")
+    for label, ratio in results.items():
+        print(f"  {label:<16} delivery={100 * ratio:.1f}%")
+    assert results["replication-on"] >= results["replication-off"]
+
+
+def test_ablation_regional_digests(benchmark):
+    """Summary-Cache digests (paper ref. [5]): trade periodic digest
+    broadcasts for skipped futile local floods and latency."""
+    results = {}
+
+    def sweep():
+        for label, on in (("digest-off", False), ("digest-on", True)):
+            cfg = replace(BASE, enable_digest=on, digest_interval=20.0)
+            (lat, reqs) = run_mean(
+                cfg,
+                [
+                    lambda r: r.average_latency,
+                    lambda r: r.extra.get("sent.request", 0.0),
+                ],
+            )
+            results[label] = (lat, reqs)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: Summary-Cache regional digests ===")
+    for label, (lat, reqs) in results.items():
+        print(f"  {label:<12} latency={lat:.4f}s  request msgs={reqs:.0f}")
+    # Digests reduce request traffic (fewer futile local floods).
+    assert results["digest-on"][1] <= results["digest-off"][1] * 1.02
+
+
+def test_ablation_prefetching(benchmark):
+    """Popularity prefetching (ref. [14] direction): proactive pulls
+    should raise local hits without hurting delivery."""
+    results = {}
+
+    def sweep():
+        for label, on in (("prefetch-off", False), ("prefetch-on", True)):
+            cfg = replace(
+                BASE,
+                enable_prefetch=on,
+                prefetch_interval=25.0,
+                cache_fraction=0.02,
+                zipf_theta=1.0,
+            )
+            (bhr, local, dlv) = run_mean(
+                cfg,
+                [
+                    lambda r: r.byte_hit_ratio,
+                    lambda r: r.served_by_class["local-cache"]
+                    + r.served_by_class["local-static"],
+                    lambda r: r.delivery_ratio,
+                ],
+            )
+            results[label] = (bhr, local, dlv)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: popularity prefetching ===")
+    for label, (bhr, local, dlv) in results.items():
+        print(
+            f"  {label:<13} byte-hit={bhr:.4f}  local-serves={local:.0f}  "
+            f"delivery={100 * dlv:.1f}%"
+        )
+    on_bhr, on_local, on_dlv = results["prefetch-on"]
+    off_bhr, off_local, off_dlv = results["prefetch-off"]
+    assert on_local >= off_local * 0.95
+    assert on_dlv >= off_dlv - 0.03
+
+
+def test_ablation_region_count_under_mobility(benchmark):
+    """The paper's future work: region-size impact with moving peers.
+
+    More regions shrink floods but raise inter-region handoff churn —
+    the sweet spot is in the middle.
+    """
+    results = {}
+
+    def sweep():
+        for n_regions in (4, 9, 16):
+            cfg = replace(BASE, n_regions=n_regions, max_speed=8.0)
+            (lat, delivered) = run_mean(
+                cfg, [lambda r: r.average_latency, lambda r: r.delivery_ratio]
+            )
+            results[n_regions] = (lat, delivered)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: region count under mobility (8 m/s) ===")
+    for n_regions, (lat, delivered) in sorted(results.items()):
+        print(
+            f"  R={n_regions:<3} latency={lat:.4f}s  delivery={100 * delivered:.1f}%"
+        )
+    for lat, delivered in results.values():
+        assert delivered > 0.7

@@ -1,0 +1,40 @@
+"""Fig. 4 — variation of latency with cache size (GD-LD vs GD-Size).
+
+Paper claim: "GD-LD by far outperforms the GD-Size algorithm for all
+cache sizes" — lower latency at every cache fraction, and latency
+decreases as the cache grows.
+"""
+
+from benchmarks.conftest import by
+from repro.experiments.figures import format_cache_sweep
+
+
+def test_fig4_latency_vs_cache_size(cache_sweep, benchmark):
+    points = cache_sweep
+    benchmark.pedantic(lambda: format_cache_sweep(points), rounds=1, iterations=1)
+
+    print("\n=== Fig. 4: latency per request vs cache size ===")
+    print(format_cache_sweep(points))
+    from repro.analysis.plotting import ascii_chart
+
+    series = {}
+    for p in points:
+        series.setdefault(p.policy, []).append((100 * p.cache_fraction, p.latency))
+    print(ascii_chart(
+        series, title="latency vs cache size (cf. paper Fig. 4)",
+        x_label="cache %", y_label="s",
+    ))
+
+    gdld = sorted(by(points, policy="gd-ld"), key=lambda p: p.cache_fraction)
+    gdsize = sorted(by(points, policy="gd-size"), key=lambda p: p.cache_fraction)
+    assert len(gdld) == len(gdsize) >= 3
+
+    # Shape 1: GD-LD no worse than GD-Size on average across the sweep.
+    mean_ld = sum(p.latency for p in gdld) / len(gdld)
+    mean_size = sum(p.latency for p in gdsize) / len(gdsize)
+    assert mean_ld <= mean_size * 1.02, (mean_ld, mean_size)
+
+    # Shape 2: bigger caches do not increase latency (monotone trend,
+    # modest noise tolerance per step).
+    assert gdld[-1].latency <= gdld[0].latency * 1.05
+    assert gdsize[-1].latency <= gdsize[0].latency * 1.05

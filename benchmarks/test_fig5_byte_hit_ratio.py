@@ -1,0 +1,45 @@
+"""Fig. 5 — variation of byte hit ratio with cache size.
+
+Paper claim: "GD-LD is able to achieve much higher byte hit ratios as
+compared to those with GD-Size" (because GD-Size favors small items
+independent of popularity), and the ratio grows with cache size.
+"""
+
+from benchmarks.conftest import by
+from repro.experiments.figures import format_cache_sweep
+
+
+def test_fig5_byte_hit_ratio_vs_cache_size(cache_sweep, benchmark):
+    points = cache_sweep
+    benchmark.pedantic(lambda: format_cache_sweep(points), rounds=1, iterations=1)
+
+    print("\n=== Fig. 5: byte hit ratio vs cache size ===")
+    print(format_cache_sweep(points))
+    from repro.analysis.plotting import ascii_chart
+
+    series = {}
+    for p in points:
+        series.setdefault(p.policy, []).append(
+            (100 * p.cache_fraction, p.byte_hit_ratio)
+        )
+    print(ascii_chart(
+        series, title="byte hit ratio vs cache size (cf. paper Fig. 5)",
+        x_label="cache %", y_label="ratio",
+    ))
+
+    gdld = sorted(by(points, policy="gd-ld"), key=lambda p: p.cache_fraction)
+    gdsize = sorted(by(points, policy="gd-size"), key=lambda p: p.cache_fraction)
+
+    # Shape 1: GD-LD achieves at least GD-Size's byte hit ratio on
+    # average over the sweep.
+    mean_ld = sum(p.byte_hit_ratio for p in gdld) / len(gdld)
+    mean_size = sum(p.byte_hit_ratio for p in gdsize) / len(gdsize)
+    assert mean_ld >= mean_size * 0.98, (mean_ld, mean_size)
+
+    # Shape 2: byte hit ratio grows with cache size for both policies.
+    assert gdld[-1].byte_hit_ratio > gdld[0].byte_hit_ratio
+    assert gdsize[-1].byte_hit_ratio > gdsize[0].byte_hit_ratio
+
+    # Sanity: ratios live in the paper's reported band (0.2-0.5).
+    for p in gdld + gdsize:
+        assert 0.05 <= p.byte_hit_ratio <= 0.8, p

@@ -1,0 +1,31 @@
+"""Fig. 8 — effect of update rate on the latency per request.
+
+Paper claim: "the Pull-Every-time scheme has the highest average
+latency, as the peers are required to poll the home regions for every
+request, thus incurring an extra round-trip delay"; Plain-Push and
+Push-with-Adaptive-Pull stay close to each other below it.
+"""
+
+from benchmarks.conftest import by
+from repro.experiments.figures import format_consistency_sweep
+
+
+def test_fig8_latency_per_request(consistency_sweep, benchmark):
+    points = consistency_sweep
+    benchmark.pedantic(lambda: format_consistency_sweep(points), rounds=1, iterations=1)
+
+    print("\n=== Fig. 8: latency per request vs update rate ===")
+    print(format_consistency_sweep(points))
+
+    plain = sorted(by(points, scheme="plain-push"), key=lambda p: p.update_ratio)
+    pull = sorted(by(points, scheme="pull-every-time"), key=lambda p: p.update_ratio)
+    pwap = sorted(by(points, scheme="push-adaptive-pull"), key=lambda p: p.update_ratio)
+
+    # Pull-Every-time pays the validation round trip at every ratio.
+    for a, b, c in zip(pull, plain, pwap):
+        assert a.latency > b.latency, (a.update_ratio, a.latency, b.latency)
+        assert a.latency > c.latency, (a.update_ratio, a.latency, c.latency)
+
+    # Plain-Push and PwAP stay within a modest factor of each other.
+    for b, c in zip(plain, pwap):
+        assert abs(b.latency - c.latency) / max(b.latency, c.latency) < 0.35

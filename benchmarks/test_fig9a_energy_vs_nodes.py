@@ -1,0 +1,42 @@
+"""Fig. 9(a) — energy per request vs node count: theory vs simulation,
+flooding vs PReCinCt, on a static 600 m x 600 m topology.
+
+Paper claims: energy grows with node count for both schemes; flooding
+costs far more than PReCinCt; simulation tracks the closed-form model,
+with the gap widening at higher densities (edge effects make theory an
+over-estimate of flooding's cost).
+"""
+
+from benchmarks.conftest import by
+from repro.experiments.figures import format_energy_points
+
+
+def test_fig9a_energy_vs_node_count(energy_vs_nodes, benchmark):
+    points = energy_vs_nodes
+    benchmark.pedantic(
+        lambda: format_energy_points(points, "nodes"), rounds=1, iterations=1
+    )
+
+    print("\n=== Fig. 9(a): energy per request vs number of nodes ===")
+    print(format_energy_points(points, "nodes"))
+
+    flooding = sorted(by(points, scheme="flooding"), key=lambda p: p.x)
+    precinct = sorted(by(points, scheme="precinct"), key=lambda p: p.x)
+    assert len(flooding) == len(precinct) >= 3
+
+    # Shape 1: flooding costs more than PReCinCt at every node count,
+    # in both simulation and theory.
+    for f, p in zip(flooding, precinct):
+        assert f.simulated_mj > p.simulated_mj, (f.x, f.simulated_mj, p.simulated_mj)
+        assert f.theoretical_mj > p.theoretical_mj
+
+    # Shape 2: energy grows with node count (flooding processes every
+    # node; PReCinCt's regional floods grow with density).
+    assert flooding[-1].simulated_mj > flooding[0].simulated_mj
+    assert flooding[-1].theoretical_mj > flooding[0].theoretical_mj
+
+    # Shape 3: theory and simulation agree within an order of magnitude
+    # for flooding (the paper reports divergence at high density, with
+    # simulation below theory due to edge effects).
+    for f in flooding:
+        assert 0.1 < f.theoretical_mj / f.simulated_mj < 10.0, f

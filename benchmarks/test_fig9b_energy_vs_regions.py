@@ -1,0 +1,35 @@
+"""Fig. 9(b) — energy per request vs number of regions (20 nodes,
+static 600 m x 600 m topology).
+
+Paper claim: "the scheme performs better and consumes lesser energy
+with larger number of regions because the flooding takes place in
+smaller regions."
+"""
+
+from benchmarks.conftest import by
+from repro.experiments.figures import format_energy_points
+
+
+def test_fig9b_energy_vs_region_count(energy_vs_regions, benchmark):
+    points = energy_vs_regions
+    benchmark.pedantic(
+        lambda: format_energy_points(points, "regions"), rounds=1, iterations=1
+    )
+
+    print("\n=== Fig. 9(b): energy per request vs number of regions ===")
+    print(format_energy_points(points, "regions"))
+
+    series = sorted(by(points, scheme="precinct"), key=lambda p: p.x)
+    assert len(series) >= 3
+
+    # Shape 1: theoretical energy strictly decreases with region count.
+    theory = [p.theoretical_mj for p in series]
+    assert all(a >= b for a, b in zip(theory, theory[1:]))
+
+    # Shape 2: simulated energy trends down from few regions to many
+    # (allowing noise between adjacent points).
+    assert series[-1].simulated_mj < series[0].simulated_mj
+
+    # Shape 3: theory and simulation within an order of magnitude.
+    for p in series:
+        assert 0.1 < p.theoretical_mj / p.simulated_mj < 10.0, p

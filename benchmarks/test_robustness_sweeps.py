@@ -1,0 +1,119 @@
+"""Robustness sweeps beyond the paper's figures.
+
+The paper's §6.1 lists maximum velocities of 2-20 m/s and its future
+work (§7) asks for "different mobility models and node disconnection
+rates".  These benches sweep all three axes on the full system:
+
+* node speed (2-20 m/s, random waypoint),
+* mobility model (random waypoint / Manhattan / RPGM group),
+* churn intensity (mean connected time per peer).
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.network import PReCinCtNetwork
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+if SCALE == "paper":
+    DURATION, WARMUP, SEEDS = 1500.0, 300.0, (1, 2, 3)
+    SPEEDS = (2.0, 8.0, 12.0, 16.0, 20.0)
+else:
+    DURATION, WARMUP, SEEDS = 400.0, 80.0, (1, 2)
+    SPEEDS = (2.0, 8.0, 20.0)
+
+BASE = SimulationConfig(
+    n_nodes=80,
+    duration=DURATION,
+    warmup=WARMUP,
+    cache_fraction=0.02,
+)
+
+
+def run_mean(cfg):
+    lat = bhr = dlv = 0.0
+    for seed in SEEDS:
+        r = PReCinCtNetwork(replace(cfg, seed=seed)).run()
+        lat += r.average_latency
+        bhr += r.byte_hit_ratio
+        dlv += r.delivery_ratio
+    n = len(SEEDS)
+    return lat / n, bhr / n, dlv / n
+
+
+def test_speed_sweep(benchmark):
+    """§6.1's velocity range: PReCinCt degrades gracefully with speed."""
+    results = {}
+
+    def sweep():
+        for speed in SPEEDS:
+            results[speed] = run_mean(replace(BASE, max_speed=speed))
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Robustness: node speed sweep (random waypoint) ===")
+    print(f"{'vmax(m/s)':>10} {'latency(s)':>11} {'byte-hit':>9} {'delivery':>9}")
+    for speed, (lat, bhr, dlv) in sorted(results.items()):
+        print(f"{speed:>10.0f} {lat:>11.4f} {bhr:>9.4f} {100 * dlv:>8.1f}%")
+    # Shape: the scheme keeps functioning across the whole §6.1 range.
+    for lat, bhr, dlv in results.values():
+        assert dlv > 0.85
+        assert 0.0 < lat < 3.0
+    # Higher mobility costs delivery (never improves it materially).
+    slowest = results[min(results)][2]
+    fastest = results[max(results)][2]
+    assert fastest <= slowest + 0.03
+
+
+def test_mobility_model_sweep(benchmark):
+    """Future work §7: other mobility models still deliver."""
+    results = {}
+
+    def sweep():
+        for model in ("random-waypoint", "manhattan", "group"):
+            cfg = replace(BASE, mobility_model=model, max_speed=8.0)
+            results[model] = run_mean(cfg)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Robustness: mobility model sweep (8 m/s) ===")
+    print(f"{'model':<16} {'latency(s)':>11} {'byte-hit':>9} {'delivery':>9}")
+    for model, (lat, bhr, dlv) in results.items():
+        print(f"{model:<16} {lat:>11.4f} {bhr:>9.4f} {100 * dlv:>8.1f}%")
+    # Group (RPGM) mobility genuinely partitions the plane — separated
+    # teams cannot reach each other's regions — so its floor is lower.
+    assert results["random-waypoint"][2] > 0.85
+    assert results["manhattan"][2] > 0.85
+    assert results["group"][2] > 0.40
+    for lat, bhr, dlv in results.values():
+        assert 0.0 < bhr < 1.0
+
+
+def test_churn_sweep(benchmark):
+    """Future work §7: node disconnection rates."""
+    results = {}
+
+    def sweep():
+        for uptime in (None, 300.0, 120.0):
+            cfg = replace(
+                BASE,
+                max_speed=6.0,
+                churn_uptime=uptime,
+                churn_downtime=40.0,
+            )
+            label = "no churn" if uptime is None else f"up~{uptime:.0f}s"
+            results[label] = run_mean(cfg)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Robustness: churn sweep ===")
+    print(f"{'churn':<10} {'latency(s)':>11} {'byte-hit':>9} {'delivery':>9}")
+    for label, (lat, bhr, dlv) in results.items():
+        print(f"{label:<10} {lat:>11.4f} {bhr:>9.4f} {100 * dlv:>8.1f}%")
+    # Replication + handoff keep the scheme serving under heavy churn.
+    assert results["up~120s"][2] > 0.55
+    # And churn never helps delivery.
+    assert results["no churn"][2] >= results["up~120s"][2] - 0.02

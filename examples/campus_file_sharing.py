@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scenario: campus file sharing — choosing a cache replacement policy.
+
+Students' devices on a campus quad share lecture notes, slides and clips
+over ad-hoc links (the MP2P information-sharing workload the paper's
+introduction motivates).  Files range from small notes (~1 KiB) to
+recorded clips (~20 KiB); popularity is heavily skewed (this week's
+lecture dominates).
+
+The example sweeps the per-device cache budget and compares the paper's
+GD-LD policy against GD-Size and LRU on latency and byte hit ratio —
+reproducing, on a realistic scenario, why GD-LD's popularity +
+region-distance + size utility wins.
+
+Run:
+    python examples/campus_file_sharing.py
+"""
+
+from dataclasses import replace
+
+from repro import PReCinCtNetwork, SimulationConfig
+
+BASE = SimulationConfig(
+    width=900.0,
+    height=900.0,
+    n_nodes=70,                 # devices on the quad
+    max_speed=1.5,              # walking pace
+    pause_time=60.0,            # students sit down for a while
+    n_regions=9,
+    n_items=800,                # shared files
+    min_item_bytes=1024.0,      # lecture notes
+    max_item_bytes=20480.0,     # recorded clips
+    zipf_theta=0.95,            # this week's material dominates
+    t_request=20.0,
+    consistency="none",         # static content (files do not change)
+    duration=900.0,
+    warmup=180.0,
+    seed=7,
+)
+
+POLICIES = ("lru", "gd-size", "gd-ld")
+CACHE_BUDGETS = (0.005, 0.02)  # fraction of the full file library
+
+
+def main() -> None:
+    print("Campus file sharing: cache replacement policy comparison")
+    print(f"{'policy':<10} {'cache%':>7} {'latency(ms)':>12} {'byte-hit':>9} "
+          f"{'delivered':>10}")
+    for fraction in CACHE_BUDGETS:
+        for policy in POLICIES:
+            cfg = replace(BASE, replacement_policy=policy, cache_fraction=fraction)
+            report = PReCinCtNetwork(cfg).run()
+            print(
+                f"{policy:<10} {100 * fraction:>6.1f}% "
+                f"{1000 * report.average_latency:>12.1f} "
+                f"{report.byte_hit_ratio:>9.3f} "
+                f"{100 * report.delivery_ratio:>9.1f}%"
+            )
+    print(
+        "\nGD-LD keeps popular *and* far-fetched files, so more bytes are"
+        "\nserved from within the region and fewer requests cross campus."
+    )
+
+
+if __name__ == "__main__":
+    main()

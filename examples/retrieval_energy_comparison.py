@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scenario: battery-constrained sensor sharing — retrieval scheme energy.
+
+Compares the energy per request of three retrieval substrates on the
+same static field deployment (the paper's §5/§6.2.3 setting):
+
+* network-wide **flooding** (every node processes every request),
+* **expanding ring** (TTL ladder; cheap when data is nearby),
+* **PReCinCt** (geographic hash to a home region + localized flooding),
+
+and overlays the paper's closed-form predictions (eqs. 11 and 13).
+
+Run:
+    python examples/retrieval_energy_comparison.py
+"""
+
+from repro import PReCinCtNetwork, SimulationConfig, TheoreticalModel
+from repro.baselines import FloodingConfig, FloodingRetrievalNetwork
+from repro.core.messages import CONTROL_BYTES
+
+CFG = SimulationConfig(
+    width=600.0,
+    height=600.0,
+    n_nodes=50,
+    max_speed=None,            # fixed sensor field
+    n_regions=9,
+    n_items=250,
+    enable_cache=False,        # isolate the retrieval substrate
+    t_request=30.0,
+    duration=600.0,
+    warmup=120.0,
+    seed=11,
+)
+
+
+def main() -> None:
+    print(f"Static field, {CFG.n_nodes} nodes, {CFG.n_regions} regions\n")
+
+    rows = []
+    report = FloodingRetrievalNetwork(CFG, FloodingConfig()).run()
+    rows.append(("flooding", report))
+    report = FloodingRetrievalNetwork(
+        CFG, FloodingConfig(expanding_ring=True)
+    ).run()
+    rows.append(("expanding-ring", report))
+    report = PReCinCtNetwork(CFG).run()
+    rows.append(("precinct", report))
+
+    print(f"{'scheme':<15} {'E/req(mJ)':>10} {'latency(ms)':>12} {'delivered':>10}")
+    for name, r in rows:
+        print(
+            f"{name:<15} {r.energy_per_request_mj:>10.1f} "
+            f"{1000 * r.average_latency:>12.1f} {100 * r.delivery_ratio:>9.1f}%"
+        )
+
+    mean_item = (CFG.min_item_bytes + CFG.max_item_bytes) / 2.0
+    theory = TheoreticalModel(
+        area_side=CFG.width,
+        range_m=CFG.range_m,
+        request_bytes=CONTROL_BYTES,
+        response_bytes=CONTROL_BYTES + mean_item,
+    )
+    print("\nclosed-form predictions (paper eqs. 11, 13; exclude overhearing):")
+    print(f"  flooding : {theory.flooding_energy_mj(CFG.n_nodes):8.1f} mJ/request")
+    print(
+        f"  precinct : "
+        f"{theory.precinct_energy_mj(CFG.n_nodes, CFG.n_regions):8.1f} mJ/request"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Scenario: vehicular traffic updates — picking a consistency scheme.
+
+Vehicles exchange road-condition records that *change*: congestion
+levels, incident flags, parking availability.  Cached copies go stale,
+so the consistency scheme decides the trade-off between freshness
+(false hit ratio), responsiveness (latency) and radio load (control
+message overhead).
+
+The example runs the paper's three schemes at two update intensities
+and prints the Fig. 6/7/8 metrics side by side.
+
+Run:
+    python examples/traffic_updates_consistency.py
+"""
+
+from dataclasses import replace
+
+from repro import PReCinCtNetwork, SimulationConfig
+
+BASE = SimulationConfig(
+    width=1200.0,
+    height=1200.0,
+    n_nodes=80,                # vehicles
+    max_speed=14.0,            # ~50 km/h urban traffic
+    pause_time=5.0,            # traffic lights
+    n_regions=9,               # city districts
+    n_items=600,               # road segments / lots being reported on
+    min_item_bytes=512.0,
+    max_item_bytes=2048.0,     # compact condition records
+    t_request=15.0,            # drivers check conditions often
+    cache_fraction=0.05,
+    duration=700.0,
+    warmup=140.0,
+    seed=3,
+)
+
+SCHEMES = ("plain-push", "pull-every-time", "push-adaptive-pull")
+
+
+def main() -> None:
+    print("Vehicular traffic updates: consistency scheme comparison\n")
+    for t_update, label in ((15.0, "rush hour (updates every 15 s)"),
+                            (75.0, "light traffic (updates every 75 s)")):
+        print(f"--- {label} ---")
+        print(f"{'scheme':<20} {'latency(ms)':>12} {'FHR':>9} "
+              f"{'control msgs':>13} {'E/req(mJ)':>10}")
+        for scheme in SCHEMES:
+            cfg = replace(BASE, consistency=scheme, t_update=t_update)
+            report = PReCinCtNetwork(cfg).run()
+            print(
+                f"{scheme:<20} {1000 * report.average_latency:>12.1f} "
+                f"{report.false_hit_ratio:>9.5f} "
+                f"{report.consistency_messages:>13.0f} "
+                f"{report.energy_per_request_mj:>10.1f}"
+            )
+        print()
+    print("Push-with-Adaptive-Pull keeps staleness near zero at a fraction")
+    print("of Plain-Push's radio load, without Pull-Every-time's per-read")
+    print("validation round trip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a full reproduction of *PReCinCt: A Scheme for Cooperative
+Caching in Mobile Peer-to-Peer Systems* (Shen, Joseph, Kumar, Das —
+IPDPS 2005).
+
+Quickstart
+----------
+>>> from repro import PReCinCtNetwork, SimulationConfig
+>>> cfg = SimulationConfig(n_nodes=40, duration=300.0, warmup=50.0, seed=7)
+>>> report = PReCinCtNetwork(cfg).run()
+>>> report.requests_served > 0
+True
+
+Package layout
+--------------
+* :mod:`repro.sim` — discrete-event kernel, RNG streams, statistics.
+* :mod:`repro.mobility` — random waypoint / stationary models.
+* :mod:`repro.net` — unit-disk radio, MAC timing, spatial index.
+* :mod:`repro.energy` — Feeney linear energy model and ledgers.
+* :mod:`repro.routing` — GPSR (greedy + perimeter), flooding, stack.
+* :mod:`repro.workload` — Zipf popularity, Poisson arrivals, database.
+* :mod:`repro.core` — the PReCinCt scheme itself: regions, geographic
+  hash, cooperative cache with GD-LD, consistency schemes, peers.
+* :mod:`repro.analysis` — metric aggregation and the paper's
+  closed-form energy model (eqs. 3-13).
+* :mod:`repro.experiments` — ready-made experiment drivers for every
+  figure in the paper's evaluation.
+"""
+
+from repro.analysis import RequestMetrics, RunReport, TheoreticalModel
+from repro.config import SimulationConfig
+from repro.core import (
+    GDLDPolicy,
+    GDSizePolicy,
+    GeographicHash,
+    LRUPolicy,
+    PeerCache,
+    PlainPush,
+    PReCinCtNetwork,
+    PullEveryTime,
+    PushAdaptivePull,
+    Region,
+    RegionTable,
+)
+from repro.energy import EnergyLedger, EnergyParams
+from repro.sim import RngRegistry, Simulator, StatRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyLedger",
+    "EnergyParams",
+    "GDLDPolicy",
+    "GDSizePolicy",
+    "GeographicHash",
+    "LRUPolicy",
+    "PReCinCtNetwork",
+    "PeerCache",
+    "PlainPush",
+    "PullEveryTime",
+    "PushAdaptivePull",
+    "Region",
+    "RegionTable",
+    "RequestMetrics",
+    "RngRegistry",
+    "RunReport",
+    "SimulationConfig",
+    "Simulator",
+    "StatRegistry",
+    "TheoreticalModel",
+    "__version__",
+]

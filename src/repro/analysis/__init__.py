@@ -1,0 +1,31 @@
+"""Analysis: closed-form energy model and metric aggregation.
+
+* :mod:`repro.analysis.theoretical` — the paper's eqs. (3)-(13): energy
+  per request of the flooding scheme and of PReCinCt as a function of
+  node count, density and region count, used by the Fig. 9 validation.
+* :mod:`repro.analysis.metrics` — the per-run metric collector producing
+  the paper's reported quantities: average latency per request, byte hit
+  ratio, false hit ratio, control message overhead, energy per request.
+"""
+
+from repro.analysis.compare import compare_reports
+from repro.analysis.connectivity import ConnectivityReport, analyze_connectivity
+from repro.analysis.metrics import RequestMetrics, RunReport, jain_fairness
+from repro.analysis.plotting import ascii_chart, ascii_log_chart
+from repro.analysis.summary import describe_run
+from repro.analysis.theoretical import TheoreticalModel
+from repro.analysis.topology_map import render_topology
+
+__all__ = [
+    "ConnectivityReport",
+    "RequestMetrics",
+    "RunReport",
+    "TheoreticalModel",
+    "analyze_connectivity",
+    "ascii_chart",
+    "ascii_log_chart",
+    "compare_reports",
+    "describe_run",
+    "jain_fairness",
+    "render_topology",
+]

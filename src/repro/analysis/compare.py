@@ -1,0 +1,84 @@
+"""Side-by-side comparison of run reports.
+
+``compare_reports`` renders a metric-by-metric table of several runs —
+the shape one reaches for when answering "which scheme should I use?" —
+with relative deltas against a chosen baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import RunReport
+
+__all__ = ["compare_reports"]
+
+#: (display name, extractor, better) — better is +1 for higher-is-better,
+#: -1 for lower-is-better, 0 for neutral.
+_METRICS: Sequence[Tuple[str, Callable[[RunReport], float], int]] = (
+    ("latency (s)", lambda r: r.average_latency, -1),
+    ("latency p95 (s)", lambda r: r.latency_p95, -1),
+    ("byte hit ratio", lambda r: r.byte_hit_ratio, +1),
+    ("false hit ratio", lambda r: r.false_hit_ratio, -1),
+    ("delivery ratio", lambda r: r.delivery_ratio, +1),
+    ("energy/req (mJ)", lambda r: r.energy_per_request_mj, -1),
+    ("consistency msgs", lambda r: r.consistency_messages, -1),
+    ("total msgs", lambda r: r.total_messages, -1),
+)
+
+
+def _fmt(v: float) -> str:
+    if isinstance(v, float) and math.isnan(v):
+        return "n/a"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    return f"{v:.4g}"
+
+
+def compare_reports(
+    reports: Sequence[RunReport],
+    labels: Optional[Sequence[str]] = None,
+    baseline: int = 0,
+) -> str:
+    """Render a comparison table; deltas are relative to ``baseline``.
+
+    A ``+12.3%`` delta means the value is 12.3 % higher than the
+    baseline's; the direction marker (``▲ better`` / ``▼ worse``) uses
+    each metric's polarity.
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    if labels is None:
+        labels = [r.config_label for r in reports]
+    if len(labels) != len(reports):
+        raise ValueError("labels must match reports")
+    if not 0 <= baseline < len(reports):
+        raise ValueError(f"baseline index {baseline} out of range")
+
+    col_width = max(14, max(len(l) for l in labels) + 2)
+    lines = []
+    header = f"{'metric':<20}" + "".join(f"{l:>{col_width}}" for l in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    base = reports[baseline]
+    for name, extract, better in _METRICS:
+        cells = []
+        base_value = extract(base)
+        for i, report in enumerate(reports):
+            value = extract(report)
+            cell = _fmt(value)
+            if i != baseline and base_value and not math.isnan(base_value) and not math.isnan(value):
+                delta = (value - base_value) / abs(base_value)
+                if abs(delta) >= 0.005 and better != 0:
+                    good = (delta > 0) == (better > 0)
+                    mark = "+" if delta > 0 else "-"
+                    cell += f" ({mark}{abs(delta):.0%}{'↑' if good else '↓'})"
+            cells.append(cell)
+        lines.append(
+            f"{name:<20}" + "".join(f"{c:>{col_width}}" for c in cells)
+        )
+    lines.append(
+        f"(deltas vs {labels[baseline]!r}; ↑ = better on that metric)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Terminal (ASCII) plotting for benchmark output.
+
+The benchmark harness regenerates the paper's figures as data series;
+these helpers render them as compact terminal plots so a bench run's
+output can be eyeballed against the paper without any plotting stack.
+Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "ascii_log_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    magnitude = abs(v)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{v:.2e}"
+    return f"{v:.3g}"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to a sequence of (x, y) points.  Each
+        series gets its own marker character; a legend is appended.
+    log_y:
+        Plot log10(y) on the vertical axis (Fig. 6 is log scale).
+    """
+    points = [
+        (x, y) for pts in series.values() for x, y in pts if not math.isnan(y)
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        if min(ys) <= 0:
+            raise ValueError("log_y requires strictly positive y values")
+        ys = [math.log10(y) for y in ys]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            if math.isnan(y):
+                continue
+            yy = math.log10(y) if log_y else y
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((yy - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    top = 10 ** y_max if log_y else y_max
+    bottom = 10 ** y_min if log_y else y_min
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_note = " (log)" if log_y else ""
+    lines.append(f"{y_label}{axis_note}  top={_fmt(top)}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {_fmt(x_min)} .. {_fmt(x_max)}   bottom={_fmt(bottom)}"
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def ascii_log_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Convenience wrapper: :func:`ascii_chart` with a log-10 y axis."""
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+        log_y=True,
+    )

@@ -1,0 +1,89 @@
+"""ASCII snapshots of the network topology.
+
+Renders node positions, region boundaries, and optional per-node
+annotations as a terminal map — the quickest way to see why a group
+of peers is partitioned or which regions are starving.
+
+::
+
+    +------------+------------+
+    |  .    o    |     o      |
+    |     o  o   |  X         |
+    +------------+------------+
+    |            |   o o  o   |
+    | o          |       o    |
+    +------------+------------+
+
+``o`` live node · ``X`` dead node · region borders from the grid table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.network import PReCinCtNetwork
+
+__all__ = ["render_topology"]
+
+
+def render_topology(
+    net: "PReCinCtNetwork",
+    width: int = 72,
+    height: int = 24,
+    marks: Optional[Dict[int, str]] = None,
+) -> str:
+    """Render the current node placement and region grid.
+
+    Parameters
+    ----------
+    marks:
+        Optional per-node override characters (e.g. ``{5: "R"}`` to
+        highlight a requester).  Defaults: live ``o``, dead ``X``.
+    """
+    marks = marks or {}
+    plane_w = net.cfg.width
+    plane_h = net.cfg.height
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float):
+        col = min(width - 1, max(0, int(x / plane_w * (width - 1))))
+        row = min(height - 1, max(0, int(y / plane_h * (height - 1))))
+        return height - 1 - row, col  # north up
+
+    # Region borders: draw each region's bounding edges.
+    for region in net.table:
+        xs = [v[0] for v in region.vertices]
+        ys = [v[1] for v in region.vertices]
+        x0, x1, y0, y1 = min(xs), max(xs), min(ys), max(ys)
+        r0, c0 = to_cell(x0, y0)
+        r1, c1 = to_cell(x1, y1)
+        top, bottom = min(r0, r1), max(r0, r1)
+        left, right = min(c0, c1), max(c0, c1)
+        for c in range(left, right + 1):
+            for r in (top, bottom):
+                grid[r][c] = "-" if grid[r][c] == " " else grid[r][c]
+        for r in range(top, bottom + 1):
+            for c in (left, right):
+                grid[r][c] = "|" if grid[r][c] in (" ",) else grid[r][c]
+        for r in (top, bottom):
+            for c in (left, right):
+                grid[r][c] = "+"
+
+    positions = net.network.positions()
+    for node_id in range(net.cfg.n_nodes):
+        r, c = to_cell(float(positions[node_id, 0]), float(positions[node_id, 1]))
+        if node_id in marks:
+            grid[r][c] = marks[node_id][0]
+        elif not net.network.is_alive(node_id):
+            grid[r][c] = "X"
+        else:
+            grid[r][c] = "o"
+
+    lines = ["".join(row) for row in grid]
+    alive = int(net.network.alive.sum())
+    lines.append(
+        f"t={net.sim.now:.1f}s  {alive}/{net.cfg.n_nodes} alive  "
+        f"{len(net.table)} regions  ({plane_w:.0f}x{plane_h:.0f} m)"
+    )
+    return "\n".join(lines)

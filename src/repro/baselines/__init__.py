@@ -1,0 +1,17 @@
+"""Baseline retrieval schemes the paper compares against.
+
+* :class:`~repro.baselines.flooding_scheme.FloodingRetrievalNetwork` —
+  the network-wide flooding scheme of §1/§5.2.1: a request is flooded to
+  every node; the data owner returns the item hop-by-hop along the
+  reverse path the request took.  Supports the *expanding ring* variant
+  (Lv et al. [12]): successive TTL-bounded floods with doubling TTL
+  until the data is found.
+
+These baselines share the exact same substrates (radio, MAC, energy
+model, mobility, workload) as PReCinCt, so energy-per-request
+comparisons (Fig. 9a) isolate the retrieval scheme.
+"""
+
+from repro.baselines.flooding_scheme import FloodingConfig, FloodingRetrievalNetwork
+
+__all__ = ["FloodingConfig", "FloodingRetrievalNetwork"]

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Run single simulations or regenerate the paper's figures without writing
+any Python::
+
+    python -m repro run --nodes 80 --speed 6 --cache 0.02 --policy gd-ld
+    python -m repro fig 4          # regenerate one figure's data series
+    python -m repro fig all        # regenerate everything
+    python -m repro theory --nodes 20 40 60 80
+
+The CLI is a thin veneer over :mod:`repro.experiments`; anything it can
+do is equally available through the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.theoretical import TheoreticalModel
+from repro.config import SimulationConfig
+from repro.core.messages import CONTROL_BYTES
+from repro.core.network import PReCinCtNetwork
+from repro.experiments.figures import (
+    format_cache_sweep,
+    format_consistency_sweep,
+    format_energy_points,
+    run_fig4_fig5,
+    run_fig6_fig7_fig8,
+    run_fig9a,
+    run_fig9b,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PReCinCt (IPDPS 2005) reproduction — simulations and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one PReCinCt simulation")
+    run_p.add_argument("--nodes", type=int, default=80)
+    run_p.add_argument("--regions", type=int, default=9)
+    run_p.add_argument("--speed", type=float, default=6.0,
+                       help="max node speed m/s (0 = static)")
+    run_p.add_argument("--cache", type=float, default=0.02,
+                       help="cache fraction of database size")
+    run_p.add_argument("--policy", choices=["gd-ld", "gd-size", "lru", "lfu"],
+                       default="gd-ld")
+    run_p.add_argument(
+        "--mobility",
+        choices=["random-waypoint", "manhattan", "group"],
+        default="random-waypoint",
+    )
+    run_p.add_argument("--digest", action="store_true",
+                       help="enable Summary-Cache regional digests")
+    run_p.add_argument("--prefetch", action="store_true",
+                       help="enable popularity prefetching")
+    run_p.add_argument("--dynamic-regions", action="store_true",
+                       help="enable adaptive region Merge/Separate")
+    run_p.add_argument("--churn-uptime", type=float, default=None,
+                       help="mean connected seconds per peer (enables churn)")
+    run_p.add_argument("--map", action="store_true",
+                       help="print an ASCII topology snapshot after the run")
+    run_p.add_argument("--report", action="store_true",
+                       help="print the full multi-section run summary")
+    run_p.add_argument(
+        "--consistency",
+        choices=["none", "plain-push", "pull-every-time", "push-adaptive-pull"],
+        default="none",
+    )
+    run_p.add_argument("--t-update", type=float, default=None,
+                       help="mean inter-update time (s); omit for read-only")
+    run_p.add_argument("--duration", type=float, default=1000.0)
+    run_p.add_argument("--warmup", type=float, default=200.0)
+    run_p.add_argument("--items", type=int, default=1000)
+    run_p.add_argument("--seed", type=int, default=1)
+
+    fig_p = sub.add_parser("fig", help="regenerate a paper figure's data")
+    fig_p.add_argument("figure", choices=["4", "5", "6", "7", "8", "9a", "9b", "all"])
+    fig_p.add_argument("--quick", action="store_true",
+                       help="smaller/faster sweep (noisier curves)")
+
+    th_p = sub.add_parser("theory", help="closed-form energy model (eqs. 11, 13)")
+    th_p.add_argument("--nodes", type=int, nargs="+", default=[20, 40, 60, 80])
+    th_p.add_argument("--regions", type=int, default=9)
+    th_p.add_argument("--area", type=float, default=600.0)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig(
+        n_nodes=args.nodes,
+        n_regions=args.regions,
+        max_speed=args.speed if args.speed > 0 else None,
+        mobility_model=args.mobility,
+        cache_fraction=args.cache,
+        replacement_policy=args.policy,
+        consistency=args.consistency,
+        t_update=args.t_update,
+        duration=args.duration,
+        warmup=args.warmup,
+        n_items=args.items,
+        seed=args.seed,
+        enable_digest=args.digest,
+        enable_prefetch=args.prefetch,
+        dynamic_regions=args.dynamic_regions,
+        churn_uptime=args.churn_uptime,
+    )
+    print(f"running: {cfg.n_nodes} nodes, {cfg.n_regions} regions, "
+          f"{cfg.duration:.0f}s virtual time ...", file=sys.stderr)
+    net = PReCinCtNetwork(cfg)
+    report = net.run()
+    if args.report:
+        from repro.analysis.summary import describe_run
+
+        print(describe_run(net, report, topology=args.map))
+        return 0
+    print(report.row())
+    print(
+        f"  latency p50/p95/p99 = {report.latency_p50:.3f} / "
+        f"{report.latency_p95:.3f} / {report.latency_p99:.3f} s"
+    )
+    for cls, count in sorted(report.served_by_class.items()):
+        print(f"  served[{cls}] = {count}")
+    if args.map:
+        from repro.analysis.topology_map import render_topology
+
+        print(render_topology(net))
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    quick = dict(duration=500.0, warmup=100.0, seeds=(1,)) if args.quick else {}
+    want = args.figure
+
+    if want in ("4", "5", "all"):
+        points = run_fig4_fig5(**quick)
+        print("=== Figs. 4-5: latency / byte hit ratio vs cache size ===")
+        print(format_cache_sweep(points))
+    if want in ("6", "7", "8", "all"):
+        points = run_fig6_fig7_fig8(**quick)
+        print("=== Figs. 6-8: consistency schemes vs update rate ===")
+        print(format_consistency_sweep(points))
+    if want in ("9a", "all"):
+        kw = dict(duration=400.0, warmup=80.0, seeds=(1,)) if args.quick else {}
+        points = run_fig9a(**kw)
+        print("=== Fig. 9(a): energy vs node count ===")
+        print(format_energy_points(points, "nodes"))
+    if want in ("9b", "all"):
+        kw = dict(duration=400.0, warmup=80.0, seeds=(1,)) if args.quick else {}
+        points = run_fig9b(**kw)
+        print("=== Fig. 9(b): energy vs region count ===")
+        print(format_energy_points(points, "regions"))
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    model = TheoreticalModel(area_side=args.area, request_bytes=CONTROL_BYTES)
+    print(f"{'nodes':>6} {'flooding(mJ)':>13} {'precinct(mJ)':>13}")
+    for n in args.nodes:
+        print(
+            f"{n:>6} {model.flooding_energy_mj(n):>13.2f} "
+            f"{model.precinct_energy_mj(n, args.regions):>13.2f}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "fig":
+        return _cmd_fig(args)
+    if args.command == "theory":
+        return _cmd_theory(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

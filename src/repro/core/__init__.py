@@ -1,0 +1,58 @@
+"""The PReCinCt scheme — the paper's primary contribution.
+
+Subpackage map (paper section in parentheses):
+
+* :mod:`repro.core.regions` — geographic regions and the region table
+  with Add/Delete/Merge/Separate operations (§2.1).
+* :mod:`repro.core.geohash` — the geographic hash mapping keys to home
+  and replica regions (§2.2, §2.4).
+* :mod:`repro.core.messages` — protocol message definitions and sizes.
+* :mod:`repro.core.cache` — per-peer static+dynamic cache with the
+  cooperative admission control (§3.1, §3.2).
+* :mod:`repro.core.replacement` — GD-LD and the GD-Size/LRU baselines
+  (§3.3).
+* :mod:`repro.core.consistency` — Plain-Push, Pull-Every-time and Push
+  with Adaptive Pull with the TTR estimator (§4).
+* :mod:`repro.core.peer` — the peer protocol state machine implementing
+  the search algorithm of Fig. 1, replication and mobility handoff
+  (§2.2-§2.4).
+* :mod:`repro.core.network` — :class:`PReCinCtNetwork`, the simulation
+  facade that wires everything together; plus the flooding-retrieval
+  baseline used by the Fig. 9 comparisons.
+"""
+
+from repro.core.cache import CachedCopy, PeerCache
+from repro.core.consistency import (
+    ConsistencyScheme,
+    PlainPush,
+    PullEveryTime,
+    PushAdaptivePull,
+)
+from repro.core.geohash import GeographicHash
+from repro.core.network import PReCinCtNetwork
+from repro.core.regions import Region, RegionTable
+from repro.core.replacement import (
+    GDLDPolicy,
+    GDSizePolicy,
+    LFUPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+)
+
+__all__ = [
+    "CachedCopy",
+    "ConsistencyScheme",
+    "GDLDPolicy",
+    "GDSizePolicy",
+    "GeographicHash",
+    "LFUPolicy",
+    "LRUPolicy",
+    "PReCinCtNetwork",
+    "PeerCache",
+    "PlainPush",
+    "PullEveryTime",
+    "PushAdaptivePull",
+    "Region",
+    "RegionTable",
+    "ReplacementPolicy",
+]

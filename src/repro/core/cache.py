@@ -1,0 +1,169 @@
+"""Per-peer dynamic cache with cooperative admission control (paper §3).
+
+Each peer's cache space is split into a *static* part (authoritative
+values of keys homed in the peer's current region — held by the peer
+layer, :attr:`repro.core.peer.Peer.static_store`) and the *dynamic* part
+modeled here: opportunistically cached copies managed by a Greedy-Dual
+replacement policy.
+
+Admission control (§3.2): a response is cached only when the responder
+resides in a *different* region — "Peers cooperatively cache data and
+thus it is unnecessary to replicate data in the same region, as they can
+be obtained locally for subsequent requests."
+
+Replacement (§3.3, Fig. 1 ``CacheReplacementPolicy``): evict minimum-
+priority entries until the new item fits; the cache's inflation floor
+``L`` advances to each victim's priority, and the incoming entry is
+primed at ``L + U(d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.replacement import GDLDPolicy, ReplacementPolicy
+
+__all__ = ["CachedCopy", "PeerCache"]
+
+
+@dataclass
+class CachedCopy:
+    """One dynamically cached data item at one peer."""
+
+    key: int
+    size_bytes: float
+    version: int
+    #: Region-level access count driving the GD-LD popularity term.
+    access_count: int = 0
+    #: Distance between the requesting and responding regions' centers
+    #: at fetch time (GD-LD's reg_dst, metres).
+    region_distance: float = 0.0
+    #: Current Time-to-Refresh duration assigned by the home region (s).
+    ttr: float = 0.0
+    #: Virtual time the copy was last validated/fetched.
+    validated_at: float = 0.0
+    #: Eviction priority maintained by the replacement policy.
+    priority: float = 0.0
+    #: Recency timestamp (used by LRU; refreshed on every hit).
+    last_access: float = 0.0
+
+    def is_fresh(self, now: float) -> bool:
+        """True while the TTR window is open (Push-with-Adaptive-Pull)."""
+        return now < self.validated_at + self.ttr
+
+
+class PeerCache:
+    """The dynamic cache of a single peer.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Dynamic cache capacity.  Experiments express it as a percentage
+        of the database's total size (paper: 0.5 %-2.5 %).
+    policy:
+        Replacement policy (default: the paper's GD-LD).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be nonnegative, got {capacity_bytes}")
+        self.capacity_bytes = float(capacity_bytes)
+        self.policy = policy if policy is not None else GDLDPolicy()
+        self.entries: Dict[int, CachedCopy] = {}
+        self.used_bytes = 0.0
+        #: Greedy-Dual inflation floor L (priority of the last victim).
+        self.inflation = 0.0
+        # -- statistics --
+        self.insertions = 0
+        self.evictions = 0
+        self.rejections = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, key: int) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: int) -> Optional[CachedCopy]:
+        """Look up a copy without touching priorities (peek)."""
+        return self.entries.get(key)
+
+    def hit(self, key: int, now: float) -> Optional[CachedCopy]:
+        """Look up a copy and refresh its priority (a real cache hit).
+
+        The access count is bumped by the *peer* layer (which also sees
+        other regional members' requests); this method only re-primes the
+        priority so the policy sees the updated count.
+        """
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        entry.last_access = now
+        self.policy.on_hit(entry, self.inflation, now)
+        return entry
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    # -- admission and replacement (Fig. 1) ---------------------------------
+
+    @staticmethod
+    def should_admit(responder_region_id: int, requester_region_id: int) -> bool:
+        """Cache admission control (§3.2): admit only cross-region data."""
+        return responder_region_id != requester_region_id
+
+    def insert(self, entry: CachedCopy, now: float) -> List[int]:
+        """Admit ``entry``, evicting minimum-priority victims as needed.
+
+        Returns the list of evicted keys.  If the item cannot fit even
+        with an empty cache it is rejected (no eviction churn).
+        Re-inserting an existing key replaces the old copy in place.
+        """
+        if entry.size_bytes > self.capacity_bytes:
+            self.rejections += 1
+            return []
+        evicted: List[int] = []
+        old = self.entries.pop(entry.key, None)
+        if old is not None:
+            self.used_bytes -= old.size_bytes
+        while self.used_bytes + entry.size_bytes > self.capacity_bytes:
+            victim_key = min(self.entries, key=lambda k: self.entries[k].priority)
+            victim = self.entries.pop(victim_key)
+            self.used_bytes -= victim.size_bytes
+            if self.policy.uses_inflation:
+                # L = min utility in cache (the victim's priority).
+                self.inflation = victim.priority
+            evicted.append(victim_key)
+            self.evictions += 1
+        self.policy.prime(entry, self.inflation, now)
+        self.entries[entry.key] = entry
+        self.used_bytes += entry.size_bytes
+        self.insertions += 1
+        return evicted
+
+    def evict(self, key: int) -> bool:
+        """Explicitly drop a copy (e.g. on a Plain-Push invalidation)."""
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return False
+        self.used_bytes -= entry.size_bytes
+        self.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.used_bytes = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PeerCache(used={self.used_bytes:.0f}/{self.capacity_bytes:.0f} B, "
+            f"items={len(self.entries)}, L={self.inflation:.3g})"
+        )

@@ -1,0 +1,197 @@
+"""Cache consistency schemes (paper §4).
+
+Three strategy objects, selected per experiment:
+
+* :class:`PlainPush` — the updater floods an :class:`Invalidation`
+  network-wide; peers holding a cached copy evict it.  Reads never
+  validate.  Simple and stateless, but every update costs O(N)
+  transmissions and unreachable peers miss invalidations (small FHR).
+* :class:`PullEveryTime` — every serve from a cached copy first polls
+  the home region.  Strong consistency (FHR = 0), but every cached hit
+  pays a round trip (highest latency, high poll traffic).
+* :class:`PushAdaptivePull` — the paper's contribution.  Push phase:
+  updates travel only to the key's home and replica regions.  Pull
+  phase: each cached copy carries a Time-to-Refresh; reads within the
+  TTR window are served locally, reads past it poll the home region.
+  The home region adapts TTR to the observed update rate (eq. 2):
+
+      TTR = alpha * TTR + (1 - alpha) * t_upd_intvl
+
+  so hot items are polled often and cold items almost never.
+
+All three schemes share the same *write path* — the updater pushes the
+new value to the home and replica regions so the authoritative copy
+stays serveable (Plain-Push replaces the region pushes with the global
+flood, which by construction also reaches the custodians).  What the
+paper's Fig. 6 overhead metric counts is every transmission these
+schemes generate: pushes, invalidation flood hops, polls and replies —
+all tagged with the ``consistency`` packet category.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.cache import CachedCopy
+from repro.core.messages import Invalidation, UpdatePush
+from repro.workload.database import DataItem
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.network import PReCinCtNetwork
+
+__all__ = [
+    "ConsistencyScheme",
+    "PlainPush",
+    "PullEveryTime",
+    "PushAdaptivePull",
+]
+
+#: Packet category used for all consistency-maintenance traffic; the
+#: Fig. 6 metric is the count of transmissions in this category.
+CONSISTENCY = "consistency"
+
+
+class ConsistencyScheme:
+    """Interface between the peer protocol and a consistency policy."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.host: Optional["PReCinCtNetwork"] = None
+
+    def bind(self, host: "PReCinCtNetwork") -> None:
+        """Attach to the simulation facade (grants messaging services)."""
+        self.host = host
+
+    # -- read path ---------------------------------------------------------
+
+    def needs_validation(self, entry: CachedCopy, now: float) -> bool:
+        """Must this locally cached copy be validated before serving?"""
+        return False
+
+    def must_validate_response(self, authoritative: bool, fresh: bool) -> bool:
+        """Must the requester validate a response served by another peer?
+
+        The cumulative (regional) cache offers copies uniformly in every
+        scheme — "a unified view of the cache" — and the *requester*
+        applies its scheme's validation rule using the response's
+        provenance: ``authoritative`` (from a custodian's static store)
+        and ``fresh`` (responder-side TTR still open).
+        """
+        return False
+
+    # -- write path ---------------------------------------------------------
+
+    def disseminate_update(self, updater: int, key: int) -> None:
+        """Called right after the updater commits (version already bumped).
+
+        Default: push the new value to the key's home and replica
+        regions (the paper's Push phase, Fig. 2), so custodians stay
+        current.  Subclasses add their invalidation traffic on top.
+        """
+        assert self.host is not None, "scheme must be bound to a host"
+        self.host.push_update_to_regions(updater, key, category=CONSISTENCY)
+
+    # -- custodian-side TTR maintenance --------------------------------------
+
+    def initial_ttr(self, item: DataItem) -> float:
+        """TTR assigned before any update has been observed."""
+        return 0.0
+
+    def on_push_received(self, item: DataItem, msg: UpdatePush) -> None:
+        """Home/replica custodian processes an arriving push."""
+
+    def on_invalidation_received(self, peer_cache, msg: Invalidation) -> None:
+        """A peer processes an arriving Plain-Push invalidation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class PlainPush(ConsistencyScheme):
+    """Flooded invalidations; reads trust the cache blindly (§4, [3])."""
+
+    name = "plain-push"
+
+    def needs_validation(self, entry: CachedCopy, now: float) -> bool:
+        return False
+
+    def disseminate_update(self, updater: int, key: int) -> None:
+        assert self.host is not None, "scheme must be bound to a host"
+        # The global invalidation flood reaches every live, connected
+        # peer — including the home/replica custodians, which is how the
+        # new value propagates in Plain-Push.  (The flood carries the
+        # invalidation notice; custodians re-fetch lazily, modeled by
+        # serving from the shared authoritative store.)
+        self.host.flood_invalidation(updater, key, category=CONSISTENCY)
+
+    def on_invalidation_received(self, peer_cache, msg: Invalidation) -> None:
+        entry = peer_cache.get(msg.key)
+        if entry is not None and entry.version < msg.version:
+            peer_cache.evict(msg.key)
+
+
+class PullEveryTime(ConsistencyScheme):
+    """Validate with the home region on every cached serve (§4, [7]).
+
+    The requester polls the data's owner before consuming *any* copy
+    that did not come from an authoritative custodian — its own cache or
+    a regional member's.  This yields the scheme's signature behaviour:
+    strong consistency (FHR = 0) at the price of an extra round trip on
+    every cached hit (highest latency, Fig. 8) and poll traffic on top
+    of the shared write path (Fig. 6).
+    """
+
+    name = "pull-every-time"
+
+    def needs_validation(self, entry: CachedCopy, now: float) -> bool:
+        return True
+
+    def must_validate_response(self, authoritative: bool, fresh: bool) -> bool:
+        return not authoritative
+
+
+class PushAdaptivePull(ConsistencyScheme):
+    """Push with Adaptive Pull — the paper's hybrid scheme (§4).
+
+    Parameters
+    ----------
+    alpha:
+        EWMA factor of eq. 2, weighing past TTR against the most recent
+        update interval; 0 < alpha < 1 (paper leaves the constant free;
+        0.5 weighs them equally).
+    default_ttr:
+        TTR assigned to items that have never been updated.  A finite
+        default keeps never-updated items validating occasionally, which
+        bounds staleness if the first update is missed.
+    """
+
+    name = "push-adaptive-pull"
+
+    def __init__(self, alpha: float = 0.5, default_ttr: float = 60.0):
+        super().__init__()
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if default_ttr < 0:
+            raise ValueError(f"default_ttr must be nonnegative, got {default_ttr}")
+        self.alpha = float(alpha)
+        self.default_ttr = float(default_ttr)
+
+    def needs_validation(self, entry: CachedCopy, now: float) -> bool:
+        """Poll the home region only when the copy's TTR has expired."""
+        return not entry.is_fresh(now)
+
+    def must_validate_response(self, authoritative: bool, fresh: bool) -> bool:
+        """Validate copies served past their TTR window; trust fresh ones."""
+        return not authoritative and not fresh
+
+    def initial_ttr(self, item: DataItem) -> float:
+        return self.default_ttr
+
+    def on_push_received(self, item: DataItem, msg: UpdatePush) -> None:
+        """Custodian updates the item's TTR from the update interval (eq. 2)."""
+        base = item.ttr if item.ttr > 0 else self.default_ttr
+        item.ttr = self.alpha * base + (1.0 - self.alpha) * item.last_update_interval
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PushAdaptivePull(alpha={self.alpha}, default_ttr={self.default_ttr})"

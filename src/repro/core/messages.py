@@ -1,0 +1,203 @@
+"""PReCinCt protocol messages.
+
+Each message records its on-air ``size_bytes`` at construction time (the
+sender knows the item size), which the radio layer uses for both MAC
+serialization delay and Feeney energy charging.  Control messages have a
+small fixed size; data-bearing messages add the item's size.
+
+Message catalogue (transport in parentheses):
+
+=================  ==========================================  =================
+message            purpose                                      transport
+=================  ==========================================  =================
+LocalRequest       find ``d`` in the requester's own region     regional flood
+HomeRequest        find ``d`` at its home/replica region        GPSR to region,
+                                                                then regional flood
+DataResponse       return ``d`` to the requester                GPSR to node
+UpdatePush         carry an update to home+replica regions      GPSR to region,
+                                                                then regional flood
+Invalidation       Plain-Push invalidation                      global flood
+Poll               validate a cached copy at the home region    GPSR to region,
+                                                                then regional flood
+PollReply          validation verdict (+ fresh data if stale)   GPSR to node
+KeyHandoff         transfer static keys on inter-region move    one-hop unicast
+=================  ==========================================  =================
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.geom import Point
+
+__all__ = [
+    "CONTROL_BYTES",
+    "DataResponse",
+    "HomeRequest",
+    "Invalidation",
+    "KeyHandoff",
+    "LocalRequest",
+    "Poll",
+    "PollReply",
+    "UpdatePush",
+    "next_request_id",
+]
+
+#: Size of a pure control message (headers, ids, key, location fields).
+CONTROL_BYTES = 64.0
+
+_request_ids = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """Globally unique id correlating a request with its response."""
+    return next(_request_ids)
+
+
+@dataclass
+class LocalRequest:
+    """Regional broadcast: "does anyone in my region have key ``d``?"."""
+
+    request_id: int
+    requester: int
+    requester_pos: Point
+    key: int
+    size_bytes: float = CONTROL_BYTES
+
+
+@dataclass
+class HomeRequest:
+    """Request geo-routed to the key's home (or replica) region.
+
+    Carries the three fields the paper specifies (§2.2): the identity of
+    the requesting peer (plus its location so the response can be
+    geo-routed back), the destination region, and the requested key.
+    ``to_replica`` marks the fault-tolerance retry (§2.4).
+    """
+
+    request_id: int
+    requester: int
+    requester_pos: Point
+    key: int
+    target_region_id: int
+    to_replica: bool = False
+    size_bytes: float = CONTROL_BYTES
+
+
+@dataclass
+class DataResponse:
+    """The data item travelling back to the requester."""
+
+    request_id: int
+    key: int
+    version: int
+    responder: int
+    #: Region the responder resides in — the requester uses it for the
+    #: GD-LD region-distance term and for admission control.
+    responder_region_id: int
+    #: Current TTR assigned by the home region (Push-with-Adaptive-Pull).
+    ttr: float
+    data_size: float
+    #: True when served from a custodian's static store (always current);
+    #: False when served from a dynamic cache (possibly stale).
+    authoritative: bool = False
+    #: Responder-side freshness at serve time: True when the copy's TTR
+    #: window was still open (authoritative copies are always fresh).
+    #: Push-with-Adaptive-Pull requesters validate non-fresh responses.
+    fresh: bool = True
+    size_bytes: float = 0.0  # set in __post_init__
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0.0:
+            self.size_bytes = CONTROL_BYTES + self.data_size
+
+
+@dataclass
+class UpdatePush:
+    """An update (with the new value) pushed to home and replica regions."""
+
+    key: int
+    version: int
+    update_time: float
+    updater: int
+    data_size: float
+    #: Region this copy of the push targets (home and replica get
+    #: separate pushes), so the point-of-broadcast peer knows where to
+    #: scope the localized flood.
+    target_region_id: int = -1
+    size_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0.0:
+            self.size_bytes = CONTROL_BYTES + self.data_size
+
+
+@dataclass
+class Invalidation:
+    """Plain-Push network-wide invalidation notice (no data payload)."""
+
+    key: int
+    version: int
+    updater: int
+    size_bytes: float = CONTROL_BYTES
+
+
+@dataclass
+class Poll:
+    """Cached-copy validation query sent to the home region."""
+
+    request_id: int
+    requester: int
+    requester_pos: Point
+    key: int
+    cached_version: int
+    size_bytes: float = CONTROL_BYTES
+
+
+@dataclass
+class PollReply:
+    """Validation verdict.
+
+    If the polled copy was stale the reply carries the fresh data
+    (``data_size > 0``); otherwise it is a small "still valid" note with
+    a refreshed TTR.
+    """
+
+    request_id: int
+    key: int
+    current_version: int
+    ttr: float
+    was_valid: bool
+    data_size: float = 0.0
+    size_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0.0:
+            self.size_bytes = CONTROL_BYTES + self.data_size
+
+
+@dataclass
+class KeyHandoff:
+    """Static keys transferred to a peer staying in the region (§2.3).
+
+    ``entries`` is a tuple of ``(key, version, last_update_time,
+    last_update_interval, ttr)`` tuples — the authoritative state the
+    receiving custodian must continue serving.
+    """
+
+    from_peer: int
+    to_peer: int
+    entries: Tuple[Tuple[int, int, float, float, float], ...]
+    total_data_bytes: float
+    #: Region the keys belong to (the region the mover departed) —
+    #: needed to re-target the handoff if the carrier packet is dropped.
+    region_id: int = -1
+    #: Redelivery attempts so far (bounded; then the keys are orphaned).
+    retries: int = 0
+    size_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0.0:
+            self.size_bytes = CONTROL_BYTES + self.total_data_bytes

@@ -1,0 +1,17 @@
+"""Energy accounting (Feeney linear model).
+
+The paper (§5.1, eq. 3) adopts Feeney's linear per-message energy model:
+``cost = m * size + b`` with distinct coefficients for sending and
+receiving, and distinct coefficients for broadcast and point-to-point
+traffic.  Point-to-point traffic additionally charges a *discard* cost to
+non-addressed nodes that overhear the packet.
+
+:class:`EnergyParams` holds the coefficients (defaults are the published
+WaveLAN measurements from Feeney & Nilsson, INFOCOM 2001, in uJ with
+*size* in bytes).  :class:`EnergyLedger` does vectorized per-node
+accounting during a simulation run.
+"""
+
+from repro.energy.model import EnergyLedger, EnergyParams
+
+__all__ = ["EnergyLedger", "EnergyParams"]

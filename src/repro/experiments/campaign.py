@@ -1,0 +1,128 @@
+"""Experiment campaigns: named, persistent, resumable sweeps.
+
+A :class:`Campaign` bundles a set of labelled configurations, runs them
+(optionally in parallel), persists every result to a JSON store as it
+completes, and — crucially for long sweeps — *resumes*: cells whose
+label already exists in the store are skipped on the next invocation.
+
+::
+
+    campaign = Campaign("cache-study", store_dir="results")
+    for policy in ("gd-ld", "gd-size"):
+        for fraction in (0.005, 0.015, 0.025):
+            campaign.add(
+                f"{policy}@{fraction:.3f}",
+                replace(base, replacement_policy=policy,
+                        cache_fraction=fraction),
+            )
+    reports = campaign.run(processes=4)
+    print(campaign.summary())
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.compare import compare_reports
+from repro.analysis.metrics import RunReport
+from repro.config import SimulationConfig
+from repro.experiments.report_io import reports_from_json, reports_to_json
+from repro.experiments.sweeps import run_sweep
+
+__all__ = ["Campaign"]
+
+
+class Campaign:
+    """A named collection of labelled simulation cells."""
+
+    def __init__(self, name: str, store_dir: Optional[str] = None):
+        if not name or "/" in name:
+            raise ValueError(f"invalid campaign name {name!r}")
+        self.name = name
+        self.store_path: Optional[Path] = (
+            Path(store_dir) / f"{name}.json" if store_dir is not None else None
+        )
+        self._cells: List[Tuple[str, SimulationConfig]] = []
+        self._results: Dict[str, RunReport] = {}
+        if self.store_path is not None and self.store_path.exists():
+            for report in reports_from_json(self.store_path):
+                self._results[report.config_label] = report
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, label: str, cfg: SimulationConfig) -> None:
+        """Register one cell.  Labels must be unique within a campaign."""
+        if any(l == label for l, _ in self._cells):
+            raise ValueError(f"duplicate cell label {label!r}")
+        self._cells.append((label, cfg))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def completed(self) -> List[str]:
+        return [l for l, _ in self._cells if l in self._results]
+
+    @property
+    def pending(self) -> List[str]:
+        return [l for l, _ in self._cells if l not in self._results]
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, processes: Optional[int] = 1) -> List[RunReport]:
+        """Run all pending cells; return every cell's report, in order.
+
+        Results are persisted to the store (when configured) after the
+        batch completes, labelled with their cell labels.
+        """
+        todo = [(label, cfg) for label, cfg in self._cells if label not in self._results]
+        if todo:
+            results = run_sweep([cfg for _, cfg in todo], processes=processes)
+            for (label, _cfg), (_cfg2, report) in zip(todo, results):
+                self._results[label] = replace(report, config_label=label)
+            self._persist()
+        return [self._results[label] for label, _ in self._cells]
+
+    def _persist(self) -> None:
+        if self.store_path is None:
+            return
+        self.store_path.parent.mkdir(parents=True, exist_ok=True)
+        ordered = [
+            self._results[label]
+            for label, _ in self._cells
+            if label in self._results
+        ]
+        # Keep results for cells removed from the definition too.
+        extras = [
+            r
+            for label, r in self._results.items()
+            if label not in {l for l, _ in self._cells}
+        ]
+        reports_to_json(ordered + extras, self.store_path)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def report(self, label: str) -> RunReport:
+        return self._results[label]
+
+    def summary(self, baseline: int = 0) -> str:
+        """Comparison table of all completed cells."""
+        done = [
+            (label, self._results[label])
+            for label, _ in self._cells
+            if label in self._results
+        ]
+        if not done:
+            return f"campaign {self.name!r}: no completed cells"
+        labels = [l for l, _ in done]
+        reports = [r for _, r in done]
+        return compare_reports(reports, labels=labels, baseline=baseline)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Campaign({self.name!r}, cells={len(self._cells)}, "
+            f"completed={len(self.completed)})"
+        )

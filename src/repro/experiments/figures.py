@@ -1,0 +1,333 @@
+"""Per-figure experiment drivers (paper §6).
+
+Every driver takes scale knobs (duration, seeds, sweep points) so the
+same code serves both quick CI benchmarks and full paper-scale
+regeneration.  Defaults reproduce the paper's settings (§6.1):
+80 nodes at 6 m/s for the cache-replacement experiments, request/update
+Poisson with 30 s mean, 9 regions, and a static 600 m plane for the
+theoretical validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.analysis.metrics import RunReport
+from repro.analysis.theoretical import TheoreticalModel
+from repro.baselines import FloodingConfig, FloodingRetrievalNetwork
+from repro.config import SimulationConfig
+from repro.core.messages import CONTROL_BYTES
+from repro.experiments.runner import run_seeds
+
+__all__ = [
+    "CacheSweepPoint",
+    "ConsistencySweepPoint",
+    "EnergyPoint",
+    "run_fig4_fig5",
+    "run_fig6_fig7_fig8",
+    "run_fig9a",
+    "run_fig9b",
+    "format_cache_sweep",
+    "format_consistency_sweep",
+    "format_energy_points",
+]
+
+
+@dataclass(frozen=True)
+class CacheSweepPoint:
+    """One (policy, cache size) cell of Figs. 4-5."""
+
+    policy: str
+    cache_fraction: float
+    latency: float
+    byte_hit_ratio: float
+    report: RunReport
+
+
+@dataclass(frozen=True)
+class ConsistencySweepPoint:
+    """One (scheme, update ratio) cell of Figs. 6-8."""
+
+    scheme: str
+    update_ratio: float
+    overhead_messages: float
+    false_hit_ratio: float
+    latency: float
+    report: RunReport
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One x-position of Fig. 9 (both curves + theory).
+
+    ``simulated_mj`` counts the energy categories the paper's analysis
+    models (send + receive); ``simulated_total_mj`` additionally counts
+    overheard-and-discarded point-to-point traffic, which eqs. 3-13
+    ignore.  The theory-vs-simulation validation compares like with
+    like, while the total is reported for completeness.
+    """
+
+    x: float  # node count (9a) or region count (9b)
+    scheme: str  # "precinct" or "flooding"
+    simulated_mj: float
+    theoretical_mj: float
+    simulated_total_mj: float = float("nan")
+
+
+# ---------------------------------------------------------------------------
+# Figs. 4-5: GD-LD vs GD-Size over cache size
+# ---------------------------------------------------------------------------
+
+def run_fig4_fig5(
+    cache_fractions: Sequence[float] = (0.005, 0.010, 0.015, 0.020, 0.025),
+    policies: Sequence[str] = ("gd-size", "gd-ld"),
+    n_nodes: int = 80,
+    max_speed: float = 6.0,
+    duration: float = 1500.0,
+    warmup: float = 300.0,
+    seeds: Sequence[int] = (1, 2, 3),
+    n_items: int = 1000,
+) -> List[CacheSweepPoint]:
+    """Latency (Fig. 4) and byte hit ratio (Fig. 5) vs cache size.
+
+    Paper setup: 80 nodes at 6 m/s, cache capacity 0.5 %-2.5 % of the
+    database size, read-only workload.
+    """
+    base = SimulationConfig(
+        n_nodes=n_nodes,
+        max_speed=max_speed,
+        duration=duration,
+        warmup=warmup,
+        n_items=n_items,
+        consistency="none",
+    )
+    points: List[CacheSweepPoint] = []
+    for policy in policies:
+        for fraction in cache_fractions:
+            cfg = replace(
+                base, replacement_policy=policy, cache_fraction=fraction
+            )
+            report = run_seeds(cfg, seeds, f"{policy}@{fraction:.3%}")
+            points.append(
+                CacheSweepPoint(
+                    policy=policy,
+                    cache_fraction=fraction,
+                    latency=report.average_latency,
+                    byte_hit_ratio=report.byte_hit_ratio,
+                    report=report,
+                )
+            )
+    return points
+
+
+def format_cache_sweep(points: List[CacheSweepPoint]) -> str:
+    """Rows in the shape of Figs. 4-5: one line per (policy, size)."""
+    lines = [
+        f"{'policy':<10} {'cache%':>7} {'latency(s)':>11} {'byte-hit':>9}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.policy:<10} {100 * p.cache_fraction:>6.2f}% "
+            f"{p.latency:>11.4f} {p.byte_hit_ratio:>9.4f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figs. 6-8: consistency schemes over the update rate
+# ---------------------------------------------------------------------------
+
+def run_fig6_fig7_fig8(
+    update_ratios: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    schemes: Sequence[str] = ("plain-push", "pull-every-time", "push-adaptive-pull"),
+    n_nodes: int = 80,
+    max_speed: float = 6.0,
+    duration: float = 1500.0,
+    warmup: float = 300.0,
+    seeds: Sequence[int] = (1, 2, 3),
+    n_items: int = 1000,
+    t_request: float = 30.0,
+) -> List[ConsistencySweepPoint]:
+    """Control message overhead (Fig. 6), false hit ratio (Fig. 7) and
+    latency (Fig. 8) vs ``Tupdate / Trequest``.
+
+    ``Trequest`` is fixed at 30 s; a ratio of 1 is the hottest update
+    rate (paper §6.2.2).
+    """
+    base = SimulationConfig(
+        n_nodes=n_nodes,
+        max_speed=max_speed,
+        duration=duration,
+        warmup=warmup,
+        n_items=n_items,
+        t_request=t_request,
+        cache_fraction=0.02,
+    )
+    points: List[ConsistencySweepPoint] = []
+    for scheme in schemes:
+        for ratio in update_ratios:
+            cfg = replace(
+                base, consistency=scheme, t_update=t_request * ratio
+            )
+            report = run_seeds(cfg, seeds, f"{scheme}@ratio{ratio:g}")
+            points.append(
+                ConsistencySweepPoint(
+                    scheme=scheme,
+                    update_ratio=ratio,
+                    overhead_messages=report.consistency_messages,
+                    false_hit_ratio=report.false_hit_ratio,
+                    latency=report.average_latency,
+                    report=report,
+                )
+            )
+    return points
+
+
+def format_consistency_sweep(points: List[ConsistencySweepPoint]) -> str:
+    lines = [
+        f"{'scheme':<20} {'Tupd/Treq':>9} {'overhead':>10} {'FHR':>9} {'latency(s)':>11}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.scheme:<20} {p.update_ratio:>9.1f} {p.overhead_messages:>10.0f} "
+            f"{p.false_hit_ratio:>9.6f} {p.latency:>11.4f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: theoretical validation on a static topology
+# ---------------------------------------------------------------------------
+
+def _static_config(
+    n_nodes: int, n_regions: int, duration: float, warmup: float, seed: int, n_items: int
+) -> SimulationConfig:
+    """The §6.2.3 setting: static 600 m x 600 m, no caching, no updates."""
+    return SimulationConfig(
+        width=600.0,
+        height=600.0,
+        n_nodes=n_nodes,
+        n_regions=n_regions,
+        max_speed=None,
+        enable_cache=False,
+        consistency="none",
+        duration=duration,
+        warmup=warmup,
+        n_items=n_items,
+        seed=seed,
+    )
+
+
+def _theory(cfg: SimulationConfig) -> TheoreticalModel:
+    mean_item = (cfg.min_item_bytes + cfg.max_item_bytes) / 2.0
+    return TheoreticalModel(
+        area_side=cfg.width,
+        range_m=cfg.range_m,
+        request_bytes=CONTROL_BYTES,
+        response_bytes=CONTROL_BYTES + mean_item,
+    )
+
+
+def _energy_split(cfg: SimulationConfig, seeds: Sequence[int], flooding: bool):
+    """Run either scheme over seeds; return (modeled_mJ, total_mJ) per
+    served request.  "Modeled" excludes the overheard-discard category,
+    which the paper's closed-form analysis does not account for."""
+    modeled_uj = 0.0
+    total_uj = 0.0
+    served = 0
+    for seed in seeds:
+        scfg = replace(cfg, seed=seed)
+        if flooding:
+            net = FloodingRetrievalNetwork(scfg, FloodingConfig())
+            report = net.run()
+            ledger = net.network.energy
+        else:
+            from repro.core.network import PReCinCtNetwork
+
+            pnet = PReCinCtNetwork(scfg)
+            report = pnet.run()
+            ledger = pnet.network.energy
+        by_cat = ledger.total_by_category()
+        total_uj += sum(by_cat.values())
+        modeled_uj += sum(v for k, v in by_cat.items() if k != "discard")
+        served += report.requests_served
+    if served == 0:
+        return float("nan"), float("nan")
+    return modeled_uj / served / 1000.0, total_uj / served / 1000.0
+
+
+def run_fig9a(
+    node_counts: Sequence[int] = (20, 40, 60, 80),
+    n_regions: int = 9,
+    duration: float = 1200.0,
+    warmup: float = 200.0,
+    seeds: Sequence[int] = (1, 2),
+    n_items: int = 300,
+) -> List[EnergyPoint]:
+    """Fig. 9(a): energy per request vs node count — flooding vs
+    PReCinCt, simulation vs closed-form theory."""
+    points: List[EnergyPoint] = []
+    for n in node_counts:
+        cfg = _static_config(n, n_regions, duration, warmup, seeds[0], n_items)
+        theory = _theory(cfg)
+        sim_mj, sim_total = _energy_split(cfg, seeds, flooding=False)
+        points.append(
+            EnergyPoint(
+                x=n,
+                scheme="precinct",
+                simulated_mj=sim_mj,
+                theoretical_mj=theory.precinct_energy_mj(n, n_regions),
+                simulated_total_mj=sim_total,
+            )
+        )
+        sim_mj, sim_total = _energy_split(cfg, seeds, flooding=True)
+        points.append(
+            EnergyPoint(
+                x=n,
+                scheme="flooding",
+                simulated_mj=sim_mj,
+                theoretical_mj=theory.flooding_energy_mj(n),
+                simulated_total_mj=sim_total,
+            )
+        )
+    return points
+
+
+def run_fig9b(
+    region_counts: Sequence[int] = (4, 9, 16, 25),
+    n_nodes: int = 20,
+    duration: float = 1200.0,
+    warmup: float = 200.0,
+    seeds: Sequence[int] = (1, 2),
+    n_items: int = 300,
+) -> List[EnergyPoint]:
+    """Fig. 9(b): PReCinCt energy per request vs region count, 20 nodes."""
+    points: List[EnergyPoint] = []
+    for n_regions in region_counts:
+        cfg = _static_config(n_nodes, n_regions, duration, warmup, seeds[0], n_items)
+        theory = _theory(cfg)
+        sim_mj, sim_total = _energy_split(cfg, seeds, flooding=False)
+        points.append(
+            EnergyPoint(
+                x=n_regions,
+                scheme="precinct",
+                simulated_mj=sim_mj,
+                theoretical_mj=theory.precinct_energy_mj(n_nodes, n_regions),
+                simulated_total_mj=sim_total,
+            )
+        )
+    return points
+
+
+def format_energy_points(points: List[EnergyPoint], x_name: str = "x") -> str:
+    lines = [
+        f"{'scheme':<10} {x_name:>8} {'sim(mJ)':>10} {'theory(mJ)':>11} "
+        f"{'sim+overhear(mJ)':>17}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.scheme:<10} {p.x:>8.0f} {p.simulated_mj:>10.3f} "
+            f"{p.theoretical_mj:>11.3f} {p.simulated_total_mj:>17.3f}"
+        )
+    return "\n".join(lines)

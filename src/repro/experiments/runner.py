@@ -1,0 +1,66 @@
+"""Run helpers shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import RunReport
+from repro.config import SimulationConfig
+from repro.core.network import PReCinCtNetwork
+
+__all__ = ["run_config", "run_seeds", "average_reports"]
+
+
+def run_config(cfg: SimulationConfig, label: Optional[str] = None) -> RunReport:
+    """Build, run, and report one PReCinCt simulation."""
+    net = PReCinCtNetwork(cfg)
+    report = net.run()
+    if label is not None:
+        report = replace_label(report, label)
+    return report
+
+
+def replace_label(report: RunReport, label: str) -> RunReport:
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(report, config_label=label)
+
+
+def run_seeds(cfg: SimulationConfig, seeds: Sequence[int], label: str) -> RunReport:
+    """Run the same configuration over several seeds and average.
+
+    Averaging across independent replications is how the paper's curves
+    are produced; counters are summed, ratios and latencies averaged.
+    """
+    reports = [run_config(replace(cfg, seed=seed)) for seed in seeds]
+    return average_reports(reports, label)
+
+
+def average_reports(reports: List[RunReport], label: str) -> RunReport:
+    if not reports:
+        raise ValueError("need at least one report to average")
+    n = len(reports)
+
+    def mean(attr: str) -> float:
+        return sum(getattr(r, attr) for r in reports) / n
+
+    merged_classes = {}
+    for r in reports:
+        for cls, count in r.served_by_class.items():
+            merged_classes[cls] = merged_classes.get(cls, 0) + count
+    return RunReport(
+        config_label=label,
+        duration=reports[0].duration,
+        requests_issued=int(sum(r.requests_issued for r in reports)),
+        requests_served=int(sum(r.requests_served for r in reports)),
+        requests_failed=int(sum(r.requests_failed for r in reports)),
+        updates_issued=int(sum(r.updates_issued for r in reports)),
+        average_latency=mean("average_latency"),
+        byte_hit_ratio=mean("byte_hit_ratio"),
+        false_hit_ratio=mean("false_hit_ratio"),
+        consistency_messages=mean("consistency_messages"),
+        total_messages=mean("total_messages"),
+        energy_total_uj=mean("energy_total_uj") * n,  # keep per-request math exact
+        served_by_class=merged_classes,
+    )

@@ -1,0 +1,128 @@
+"""Planar geometry helpers shared by mobility, routing and regions.
+
+Positions are 2-D points in metres.  Scalar helpers operate on
+``(x, y)`` tuples; vectorized helpers operate on ``(N, 2)`` float arrays
+and are used on the hot paths (neighbor queries, greedy forwarding).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+Point = Tuple[float, float]
+
+__all__ = [
+    "Point",
+    "distance",
+    "distance_sq",
+    "distances_to",
+    "midpoint",
+    "point_in_polygon",
+    "polygon_centroid",
+    "angle_of",
+    "normalize_angle",
+]
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def distance_sq(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (avoids the sqrt on comparison paths)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def distances_to(points: np.ndarray, target: Point) -> np.ndarray:
+    """Vectorized distances from each row of ``points`` (N, 2) to ``target``."""
+    diff = points - np.asarray(target, dtype=float)
+    return np.hypot(diff[:, 0], diff[:, 1])
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    return ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+def polygon_centroid(vertices: Sequence[Point]) -> Point:
+    """Area-weighted centroid of a simple polygon (shoelace formula).
+
+    Falls back to the vertex mean for degenerate (zero-area) polygons.
+    """
+    verts = list(vertices)
+    if len(verts) < 3:
+        xs = sum(v[0] for v in verts) / len(verts)
+        ys = sum(v[1] for v in verts) / len(verts)
+        return (xs, ys)
+    area2 = 0.0
+    cx = 0.0
+    cy = 0.0
+    for i in range(len(verts)):
+        x0, y0 = verts[i]
+        x1, y1 = verts[(i + 1) % len(verts)]
+        cross = x0 * y1 - x1 * y0
+        area2 += cross
+        cx += (x0 + x1) * cross
+        cy += (y0 + y1) * cross
+    if abs(area2) < 1e-12:
+        xs = sum(v[0] for v in verts) / len(verts)
+        ys = sum(v[1] for v in verts) / len(verts)
+        return (xs, ys)
+    return (cx / (3.0 * area2), cy / (3.0 * area2))
+
+
+def point_in_polygon(point: Point, vertices: Sequence[Point]) -> bool:
+    """Ray-casting point-in-polygon test (boundary counts as inside).
+
+    Robust for the convex rectangular regions used by PReCinCt and for
+    general simple polygons produced by region Merge operations.
+    """
+    x, y = point
+    verts = list(vertices)
+    n = len(verts)
+    if n < 3:
+        return False
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi = verts[i]
+        xj, yj = verts[j]
+        # Boundary check: point on segment (i, j).
+        if _on_segment((x, y), (xi, yi), (xj, yj)):
+            return True
+        if (yi > y) != (yj > y):
+            x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def _on_segment(p: Point, a: Point, b: Point, eps: float = 1e-9) -> bool:
+    """True if p lies on segment ab (within eps)."""
+    cross = (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+    if abs(cross) > eps * max(1.0, distance(a, b)):
+        return False
+    dot = (p[0] - a[0]) * (b[0] - a[0]) + (p[1] - a[1]) * (b[1] - a[1])
+    if dot < -eps:
+        return False
+    return dot <= distance_sq(a, b) + eps
+
+
+def angle_of(origin: Point, target: Point) -> float:
+    """Angle of the vector origin->target in radians, in [0, 2*pi)."""
+    return normalize_angle(math.atan2(target[1] - origin[1], target[0] - origin[0]))
+
+
+def normalize_angle(theta: float) -> float:
+    """Map an angle to [0, 2*pi)."""
+    two_pi = 2.0 * math.pi
+    theta = math.fmod(theta, two_pi)
+    if theta < 0:
+        theta += two_pi
+    return theta

@@ -1,0 +1,28 @@
+"""Node mobility models.
+
+The paper's mobile experiments use the random waypoint model of Broch et
+al. (MobiCom'98): each node repeatedly picks a uniform destination in the
+plane and a uniform speed in ``(0, vmax]``, travels there in a straight
+line, pauses, and repeats.  The static experiments (Fig. 9) use the
+:class:`~repro.mobility.stationary.StationaryModel` with uniform random
+placement.
+
+Models expose a vectorized interface: :meth:`MobilityModel.positions_at`
+returns an ``(N, 2)`` array for all nodes at a given virtual time, which
+the network layer samples when (re)building its spatial index.
+"""
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.group import GroupMobilityModel
+from repro.mobility.manhattan import ManhattanModel
+from repro.mobility.random_waypoint import RandomWaypointModel
+from repro.mobility.stationary import GridPlacement, StationaryModel
+
+__all__ = [
+    "GridPlacement",
+    "GroupMobilityModel",
+    "ManhattanModel",
+    "MobilityModel",
+    "RandomWaypointModel",
+    "StationaryModel",
+]

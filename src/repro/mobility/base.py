@@ -1,0 +1,51 @@
+"""Mobility model interface."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.geom import Point
+
+__all__ = ["MobilityModel"]
+
+
+class MobilityModel:
+    """Abstract mobility model for ``n_nodes`` nodes in a rectangular plane.
+
+    Subclasses must be *functional in time*: ``positions_at(t)`` may be
+    called for any nondecreasing sequence of times and must return
+    consistent trajectories.  This lets the network layer sample positions
+    lazily instead of stepping every node on a fixed tick.
+    """
+
+    def __init__(self, n_nodes: int, width: float, height: float):
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if width <= 0 or height <= 0:
+            raise ValueError(f"plane dimensions must be positive, got {width}x{height}")
+        self.n_nodes = n_nodes
+        self.width = float(width)
+        self.height = float(height)
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        return (self.width, self.height)
+
+    def positions_at(self, t: float) -> np.ndarray:
+        """Return an ``(n_nodes, 2)`` float array of positions at time ``t``.
+
+        ``t`` must be nondecreasing across calls (simulation time only
+        moves forward); implementations may advance internal state.
+        """
+        raise NotImplementedError
+
+    def position_of(self, node_id: int, t: float) -> Point:
+        """Position of a single node at time ``t`` (convenience)."""
+        pos = self.positions_at(t)[node_id]
+        return (float(pos[0]), float(pos[1]))
+
+    def expected_speed(self) -> float:
+        """Long-run mean speed in m/s (0 for stationary models)."""
+        return 0.0

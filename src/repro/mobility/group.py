@@ -1,0 +1,109 @@
+"""Reference Point Group Mobility (RPGM, Hong et al. 1999).
+
+Nodes belong to groups; each group's *reference point* performs random
+waypoint motion, and members jitter around it within a bounded radius.
+RPGM models teams moving together (rescue squads, tour groups, platoons)
+— relevant to PReCinCt because correlated motion stresses the
+inter-region handoff path: whole groups cross region boundaries at once.
+
+Part of the paper's future-work agenda ("different mobility models").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_waypoint import RandomWaypointModel
+
+__all__ = ["GroupMobilityModel"]
+
+
+class GroupMobilityModel(MobilityModel):
+    """RPGM: groups of nodes following shared reference points.
+
+    Parameters
+    ----------
+    n_groups:
+        Number of groups; nodes are assigned round-robin.
+    group_radius:
+        Maximum member offset from the group reference point (metres).
+    max_speed / pause_time:
+        Reference-point random waypoint parameters.
+    member_jitter_interval:
+        Members re-draw their intra-group offset at this period; the
+        offset is interpolated between draws so motion stays smooth.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        width: float,
+        height: float,
+        rng: np.random.Generator,
+        n_groups: int = 4,
+        group_radius: float = 100.0,
+        max_speed: float = 6.0,
+        pause_time: float = 5.0,
+        member_jitter_interval: float = 20.0,
+    ):
+        super().__init__(n_nodes, width, height)
+        if n_groups <= 0:
+            raise ValueError(f"n_groups must be positive, got {n_groups}")
+        if group_radius < 0:
+            raise ValueError(f"group_radius must be nonnegative, got {group_radius}")
+        if member_jitter_interval <= 0:
+            raise ValueError(
+                f"member_jitter_interval must be positive, got {member_jitter_interval}"
+            )
+        self.n_groups = min(n_groups, n_nodes)
+        self.group_radius = float(group_radius)
+        self.member_jitter_interval = float(member_jitter_interval)
+        self._rng = rng
+        self._reference = RandomWaypointModel(
+            self.n_groups,
+            width,
+            height,
+            max_speed=max_speed,
+            pause_time=pause_time,
+            rng=rng,
+        )
+        self.group_of = np.arange(n_nodes) % self.n_groups
+        # Offsets interpolate between an old and a new draw per jitter
+        # window, keeping member motion continuous.
+        self._offset_a = self._draw_offsets()
+        self._offset_b = self._draw_offsets()
+        self._window_start = 0.0
+        self._last_t = 0.0
+
+    def _draw_offsets(self) -> np.ndarray:
+        radius = self.group_radius * np.sqrt(self._rng.random(self.n_nodes))
+        theta = self._rng.uniform(0.0, 2.0 * np.pi, self.n_nodes)
+        return np.column_stack([radius * np.cos(theta), radius * np.sin(theta)])
+
+    def positions_at(self, t: float) -> np.ndarray:
+        if t < self._last_t:
+            raise ValueError(
+                f"mobility time must be nondecreasing (got {t} < {self._last_t})"
+            )
+        self._last_t = t
+        while t >= self._window_start + self.member_jitter_interval:
+            self._offset_a = self._offset_b
+            self._offset_b = self._draw_offsets()
+            self._window_start += self.member_jitter_interval
+        frac = (t - self._window_start) / self.member_jitter_interval
+        offsets = (1.0 - frac) * self._offset_a + frac * self._offset_b
+        ref = self._reference.positions_at(t)
+        pos = ref[self.group_of] + offsets
+        pos[:, 0] = np.clip(pos[:, 0], 0.0, self.width)
+        pos[:, 1] = np.clip(pos[:, 1], 0.0, self.height)
+        return pos
+
+    def expected_speed(self) -> float:
+        return self._reference.expected_speed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroupMobilityModel(n={self.n_nodes}, groups={self.n_groups}, "
+            f"radius={self.group_radius:g} m)"
+        )

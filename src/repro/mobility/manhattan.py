@@ -1,0 +1,162 @@
+"""Manhattan-grid mobility.
+
+The paper's future work (§7) calls for verifying PReCinCt "under
+different mobility models"; the Manhattan model is the standard urban
+counterpart to random waypoint: nodes move along a grid of horizontal
+and vertical streets, choosing at each intersection to continue straight
+(probability 0.5) or turn left/right (0.25 each), at a uniformly drawn
+speed per street segment.
+
+The implementation keeps per-node segment state in numpy arrays, like
+:class:`~repro.mobility.random_waypoint.RandomWaypointModel`, and
+advances expired segments in batched rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+
+__all__ = ["ManhattanModel"]
+
+# Direction encoding: 0=east, 1=north, 2=west, 3=south.
+_DX = np.array([1.0, 0.0, -1.0, 0.0])
+_DY = np.array([0.0, 1.0, 0.0, -1.0])
+
+
+class ManhattanModel(MobilityModel):
+    """Grid-street mobility.
+
+    Parameters
+    ----------
+    n_streets:
+        Number of streets per axis (the plane is divided into
+        ``n_streets - 1`` blocks per axis).
+    max_speed / min_speed:
+        Per-segment speed range, m/s.
+    p_turn:
+        Probability of turning (split evenly left/right) at an
+        intersection; the remainder continues straight when possible.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        width: float,
+        height: float,
+        rng: np.random.Generator,
+        n_streets: int = 7,
+        max_speed: float = 10.0,
+        min_speed: float = 0.5,
+        p_turn: float = 0.5,
+    ):
+        super().__init__(n_nodes, width, height)
+        if n_streets < 2:
+            raise ValueError(f"need at least 2 streets per axis, got {n_streets}")
+        if not (0 < min_speed <= max_speed):
+            raise ValueError(
+                f"need 0 < min_speed <= max_speed, got {min_speed}, {max_speed}"
+            )
+        if not 0.0 <= p_turn <= 1.0:
+            raise ValueError(f"p_turn must be in [0, 1], got {p_turn}")
+        self.n_streets = n_streets
+        self.max_speed = float(max_speed)
+        self.min_speed = float(min_speed)
+        self.p_turn = float(p_turn)
+        self._rng = rng
+        self._block_w = width / (n_streets - 1)
+        self._block_h = height / (n_streets - 1)
+
+        n = n_nodes
+        # Start each node at a random intersection with a random heading.
+        ix = rng.integers(0, n_streets, n)
+        iy = rng.integers(0, n_streets, n)
+        self._origin = np.column_stack([ix * self._block_w, iy * self._block_h])
+        self._heading = rng.integers(0, 4, n)
+        self._speed = rng.uniform(min_speed, max_speed, n)
+        self._seg_start = np.zeros(n)
+        self._seg_time = np.zeros(n)  # travel time of current segment
+        self._dest = self._origin.copy()
+        self._last_t = 0.0
+        self._new_segments(np.ones(n, dtype=bool), np.zeros(n))
+
+    def _intersection_of(self, positions: np.ndarray) -> np.ndarray:
+        """Snap positions to (ix, iy) street indices."""
+        ix = np.rint(positions[:, 0] / self._block_w).astype(np.intp)
+        iy = np.rint(positions[:, 1] / self._block_h).astype(np.intp)
+        return np.column_stack([ix, iy])
+
+    def _new_segments(self, mask: np.ndarray, t_start: np.ndarray) -> None:
+        k = int(mask.sum())
+        if k == 0:
+            return
+        self._origin[mask] = self._dest[mask]
+        inter = self._intersection_of(self._origin[mask])
+        heading = self._heading[mask].copy()
+
+        # Turn decision: straight with prob 1 - p_turn, else left/right.
+        u = self._rng.random(k)
+        turn_left = u < self.p_turn / 2.0
+        turn_right = (u >= self.p_turn / 2.0) & (u < self.p_turn)
+        heading = np.where(turn_left, (heading + 1) % 4, heading)
+        heading = np.where(turn_right, (heading - 1) % 4, heading)
+
+        # Bounce off the plane boundary: pick the opposite direction.
+        at_east = inter[:, 0] >= self.n_streets - 1
+        at_west = inter[:, 0] <= 0
+        at_north = inter[:, 1] >= self.n_streets - 1
+        at_south = inter[:, 1] <= 0
+        heading = np.where((heading == 0) & at_east, 2, heading)
+        heading = np.where((heading == 2) & at_west, 0, heading)
+        heading = np.where((heading == 1) & at_north, 3, heading)
+        heading = np.where((heading == 3) & at_south, 1, heading)
+
+        dest_ix = inter[:, 0] + _DX[heading].astype(np.intp)
+        dest_iy = inter[:, 1] + _DY[heading].astype(np.intp)
+        dest_ix = np.clip(dest_ix, 0, self.n_streets - 1)
+        dest_iy = np.clip(dest_iy, 0, self.n_streets - 1)
+        dest = np.column_stack([dest_ix * self._block_w, dest_iy * self._block_h])
+
+        speed = self._rng.uniform(self.min_speed, self.max_speed, k)
+        dist = np.hypot(
+            dest[:, 0] - self._origin[mask][:, 0],
+            dest[:, 1] - self._origin[mask][:, 1],
+        )
+        # Degenerate zero-length segments (clipped at a corner with no
+        # legal move) take one nominal block-time so time still passes.
+        seg_time = np.where(dist > 0, dist / speed, self._block_w / speed)
+
+        self._heading[mask] = heading
+        self._dest[mask] = dest
+        self._speed[mask] = speed
+        self._seg_start[mask] = t_start[mask]
+        self._seg_time[mask] = seg_time
+
+    def positions_at(self, t: float) -> np.ndarray:
+        if t < self._last_t:
+            raise ValueError(
+                f"mobility time must be nondecreasing (got {t} < {self._last_t})"
+            )
+        self._last_t = t
+        seg_end = self._seg_start + self._seg_time
+        expired = seg_end <= t
+        while expired.any():
+            self._new_segments(expired, seg_end)
+            seg_end = self._seg_start + self._seg_time
+            expired = seg_end <= t
+        with np.errstate(invalid="ignore", divide="ignore"):
+            frac = np.where(
+                self._seg_time > 0, (t - self._seg_start) / self._seg_time, 1.0
+            )
+        frac = np.clip(frac, 0.0, 1.0)
+        return self._origin + frac[:, None] * (self._dest - self._origin)
+
+    def expected_speed(self) -> float:
+        return (self.min_speed + self.max_speed) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ManhattanModel(n={self.n_nodes}, streets={self.n_streets}, "
+            f"v<={self.max_speed:g} m/s)"
+        )

@@ -1,0 +1,88 @@
+"""Stationary node placements (used by the static Fig. 9 experiments)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+
+__all__ = ["StationaryModel", "GridPlacement"]
+
+
+class StationaryModel(MobilityModel):
+    """Nodes placed uniformly at random and never moving.
+
+    Used for the theoretical-validation experiments (paper §6.2.3), which
+    run on a static 600 m x 600 m topology.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        width: float,
+        height: float,
+        rng: np.random.Generator,
+        positions: Optional[np.ndarray] = None,
+    ):
+        super().__init__(n_nodes, width, height)
+        if positions is not None:
+            positions = np.asarray(positions, dtype=float)
+            if positions.shape != (n_nodes, 2):
+                raise ValueError(
+                    f"positions must have shape ({n_nodes}, 2), got {positions.shape}"
+                )
+            self._positions = positions.copy()
+        else:
+            self._positions = np.column_stack(
+                [rng.uniform(0, width, n_nodes), rng.uniform(0, height, n_nodes)]
+            )
+
+    def positions_at(self, t: float) -> np.ndarray:
+        return self._positions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StationaryModel(n={self.n_nodes}, {self.width:g}x{self.height:g} m)"
+
+
+class GridPlacement(MobilityModel):
+    """Nodes on a regular grid with optional jitter; never moving.
+
+    Deterministic, connectivity-friendly placement used by tests and by
+    the theoretical-validation benches where uniform coverage matters
+    (a near-uniform density matches the analysis's ``delta = N/A``).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        width: float,
+        height: float,
+        rng: Optional[np.random.Generator] = None,
+        jitter: float = 0.0,
+    ):
+        super().__init__(n_nodes, width, height)
+        if jitter < 0:
+            raise ValueError(f"jitter must be nonnegative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        cols = int(math.ceil(math.sqrt(n_nodes * width / height)))
+        cols = max(cols, 1)
+        rows = int(math.ceil(n_nodes / cols))
+        xs = (np.arange(cols) + 0.5) * (width / cols)
+        ys = (np.arange(rows) + 0.5) * (height / rows)
+        grid = np.array([(x, y) for y in ys for x in xs])[:n_nodes]
+        if jitter > 0:
+            assert rng is not None
+            grid = grid + rng.uniform(-jitter, jitter, grid.shape)
+            grid[:, 0] = np.clip(grid[:, 0], 0, width)
+            grid[:, 1] = np.clip(grid[:, 1], 0, height)
+        self._positions = grid
+
+    def positions_at(self, t: float) -> np.ndarray:
+        return self._positions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridPlacement(n={self.n_nodes}, {self.width:g}x{self.height:g} m)"

@@ -1,0 +1,27 @@
+"""Wireless network substrate.
+
+Models the ad-hoc network the paper simulates in NS-2: a unit-disk radio
+(250 m nominal range), a shared-medium MAC with serialization delay and
+contention jitter, per-node liveness, and Feeney-model energy accounting
+on every transmission.
+
+The central object is :class:`~repro.net.network.WirelessNetwork`, which
+wires a :class:`~repro.mobility.MobilityModel`, a
+:class:`~repro.net.topology.SpatialGrid` neighbor index and an
+:class:`~repro.energy.EnergyLedger` to the simulation clock, and offers
+two primitives to the layers above:
+
+* :meth:`~repro.net.network.WirelessNetwork.broadcast` — one-hop local
+  broadcast received by every live node in radio range, and
+* :meth:`~repro.net.network.WirelessNetwork.unicast` — one-hop
+  point-to-point transmission to a neighbor (with overhearing costs).
+
+Multi-hop behaviour (GPSR, flooding) is built on these in
+:mod:`repro.routing`.
+"""
+
+from repro.net.network import RadioParams, WirelessNetwork
+from repro.net.packet import Packet
+from repro.net.topology import SpatialGrid
+
+__all__ = ["Packet", "RadioParams", "SpatialGrid", "WirelessNetwork"]

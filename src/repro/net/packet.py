@@ -1,0 +1,78 @@
+"""Radio-layer packets.
+
+A :class:`Packet` is the unit handed to the radio: an opaque protocol
+``payload`` plus the byte size that the MAC serializes and the energy
+model charges for.  Each forwarding hop creates a shallow copy with an
+incremented hop count, so receivers can measure path lengths without the
+routing layer threading extra state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Packet", "HEADER_BYTES"]
+
+#: Fixed per-packet header overhead in bytes (addresses, kind, location
+#: fields of the PReCinCt request header — requester id, destination
+#: region location, key).
+HEADER_BYTES = 32
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One radio transmission unit.
+
+    Attributes
+    ----------
+    payload:
+        Protocol-level message (see :mod:`repro.core.messages`).
+    size_bytes:
+        Total on-air size including headers; drives both the MAC
+        serialization delay and the energy cost.
+    src:
+        Node id of the transmitter of *this hop*.
+    dst:
+        Addressed node for point-to-point hops; ``None`` for broadcast.
+    hops:
+        Number of radio hops traversed so far (0 at the originator).
+    created_at:
+        Virtual time the packet was first injected (for latency metrics).
+    packet_id:
+        Unique id of the logical packet, preserved across hops; used by
+        flooding for duplicate suppression.
+    category:
+        Accounting label ("request", "response", "consistency", ...);
+        the network counts per-hop transmissions per category, which is
+        how the paper's control-message-overhead metric is measured.
+    """
+
+    payload: Any
+    size_bytes: float
+    src: int
+    dst: Optional[int] = None
+    hops: int = 0
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    category: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+
+    def next_hop_copy(self, src: int, dst: Optional[int] = None) -> "Packet":
+        """Clone for retransmission by ``src``, keeping the logical id."""
+        return Packet(
+            payload=self.payload,
+            size_bytes=self.size_bytes,
+            src=src,
+            dst=dst,
+            hops=self.hops + 1,
+            created_at=self.created_at,
+            packet_id=self.packet_id,
+            category=self.category,
+        )

@@ -1,0 +1,142 @@
+"""Spatial neighbor index.
+
+Neighbor queries ("who is within radio range of node i?") dominate the
+simulation's hot path — every broadcast and every routing decision needs
+one.  :class:`SpatialGrid` provides them in O(occupants of 9 cells) by
+bucketing nodes into square cells whose side equals the radio range, so
+all in-range nodes of a point lie in its 3x3 cell neighborhood.
+
+The index is rebuilt from a full ``(N, 2)`` position array (a single
+vectorized pass); the owning :class:`~repro.net.network.WirelessNetwork`
+refreshes it lazily as simulation time advances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.geom import Point
+
+__all__ = ["SpatialGrid"]
+
+
+class SpatialGrid:
+    """Uniform-grid spatial index over node positions.
+
+    Parameters
+    ----------
+    width, height:
+        Plane dimensions (metres).  Positions slightly outside the plane
+        (mobility float error) are clamped into the boundary cells.
+    cell_size:
+        Cell side; use the radio range so a 3x3 cell block covers it.
+    """
+
+    def __init__(self, width: float, height: float, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.width = float(width)
+        self.height = float(height)
+        self.cell_size = float(cell_size)
+        self.n_cols = max(1, int(np.ceil(width / cell_size)))
+        self.n_rows = max(1, int(np.ceil(height / cell_size)))
+        self._positions: Optional[np.ndarray] = None
+        self._alive: Optional[np.ndarray] = None
+        # cell id -> array of node ids in that cell (live nodes only)
+        self._cells: Dict[int, np.ndarray] = {}
+
+    # -- building --------------------------------------------------------
+
+    def rebuild(self, positions: np.ndarray, alive: Optional[np.ndarray] = None) -> None:
+        """Re-index all nodes from a fresh ``(N, 2)`` position array.
+
+        ``alive`` is an optional boolean mask; dead nodes are excluded
+        from all queries (they neither receive nor forward).
+        """
+        positions = np.asarray(positions, dtype=float)
+        n = positions.shape[0]
+        if alive is None:
+            alive = np.ones(n, dtype=bool)
+        self._positions = positions
+        self._alive = alive
+        cols = np.clip((positions[:, 0] / self.cell_size).astype(np.intp), 0, self.n_cols - 1)
+        rows = np.clip((positions[:, 1] / self.cell_size).astype(np.intp), 0, self.n_rows - 1)
+        cell_ids = rows * self.n_cols + cols
+        live_ids = np.flatnonzero(alive)
+        self._cells = {}
+        if live_ids.size == 0:
+            return
+        live_cells = cell_ids[live_ids]
+        order = np.argsort(live_cells, kind="stable")
+        sorted_cells = live_cells[order]
+        sorted_ids = live_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [sorted_cells.size]])
+        for s, e in zip(starts, ends):
+            self._cells[int(sorted_cells[s])] = sorted_ids[s:e]
+
+    # -- queries ---------------------------------------------------------
+
+    def _candidates_near(self, point: Point) -> np.ndarray:
+        """Node ids in the 3x3 cell block around ``point``."""
+        col = min(max(int(point[0] / self.cell_size), 0), self.n_cols - 1)
+        row = min(max(int(point[1] / self.cell_size), 0), self.n_rows - 1)
+        chunks: List[np.ndarray] = []
+        for dr in (-1, 0, 1):
+            r = row + dr
+            if r < 0 or r >= self.n_rows:
+                continue
+            base = r * self.n_cols
+            for dc in (-1, 0, 1):
+                c = col + dc
+                if c < 0 or c >= self.n_cols:
+                    continue
+                bucket = self._cells.get(base + c)
+                if bucket is not None:
+                    chunks.append(bucket)
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(chunks)
+
+    def within_range(self, point: Point, radius: float) -> np.ndarray:
+        """Live node ids within ``radius`` of ``point`` (inclusive).
+
+        ``radius`` must not exceed ``cell_size`` or the 3x3 block would
+        under-cover the disk.
+        """
+        if self._positions is None:
+            raise RuntimeError("SpatialGrid.rebuild() must be called before querying")
+        if radius > self.cell_size * (1 + 1e-9):
+            raise ValueError(
+                f"radius {radius} exceeds cell_size {self.cell_size}; "
+                "the 3x3 block would miss neighbors"
+            )
+        cand = self._candidates_near(point)
+        if cand.size == 0:
+            return cand
+        diff = self._positions[cand] - np.asarray(point, dtype=float)
+        dist_sq = diff[:, 0] ** 2 + diff[:, 1] ** 2
+        return cand[dist_sq <= radius * radius]
+
+    def neighbors_of(self, node_id: int, radius: float) -> np.ndarray:
+        """Live nodes within ``radius`` of ``node_id``, excluding itself."""
+        if self._positions is None:
+            raise RuntimeError("SpatialGrid.rebuild() must be called before querying")
+        point = (float(self._positions[node_id, 0]), float(self._positions[node_id, 1]))
+        ids = self.within_range(point, radius)
+        return ids[ids != node_id]
+
+    def position_of(self, node_id: int) -> Point:
+        if self._positions is None:
+            raise RuntimeError("SpatialGrid.rebuild() must be called before querying")
+        p = self._positions[node_id]
+        return (float(p[0]), float(p[1]))
+
+    @property
+    def positions(self) -> np.ndarray:
+        if self._positions is None:
+            raise RuntimeError("SpatialGrid.rebuild() must be called before querying")
+        return self._positions

@@ -1,0 +1,113 @@
+"""Flooding: network-wide, region-scoped, and TTL-bounded.
+
+Three uses in the reproduction:
+
+* **network-wide flooding** — the baseline retrieval scheme of §5.2.1 and
+  the invalidation transport of the Plain-Push consistency scheme;
+* **localized (regional) flooding** — PReCinCt's in-region resolution:
+  after a request reaches its home region, it is flooded only among
+  nodes inside the region polygon ("Peers located outside the home
+  region drop the request message without further processing");
+* **TTL-bounded flooding** — the expanding-ring baseline (Lv et al.),
+  which retries with growing TTLs until the data is found.
+
+Duplicate suppression is per (node, logical packet id): every node
+processes and rebroadcasts a given flood exactly once, exactly as in the
+paper's cost model where a flood is processed by every node once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.geom import point_in_polygon
+from repro.net.network import WirelessNetwork
+from repro.net.packet import Packet
+from repro.routing.envelopes import FloodEnvelope
+
+__all__ = ["Flooder"]
+
+
+class Flooder:
+    """Flooding engine bound to a :class:`WirelessNetwork`."""
+
+    def __init__(self, network: WirelessNetwork):
+        self.network = network
+        self.stats = network.stats
+        # (packet_id, node_id) pairs already processed.
+        self._seen: Set[Tuple[int, int]] = set()
+
+    def flood(
+        self,
+        origin: int,
+        envelope: FloodEnvelope,
+        size_bytes: float,
+        category: str = "data",
+    ) -> Packet:
+        """Start a flood at ``origin``.
+
+        The origin itself counts as having processed the flood (it will
+        not re-process an echo of its own packet).
+        """
+        if envelope.record_path:
+            envelope = envelope.hop_copy(via=origin, ttl=envelope.ttl)
+        packet = Packet(
+            payload=envelope,
+            size_bytes=size_bytes,
+            src=origin,
+            created_at=self.network.sim.now,
+            category=category,
+        )
+        self._seen.add((packet.packet_id, origin))
+        self.stats.count("flood.initiated")
+        self.network.broadcast(origin, packet)
+        return packet
+
+    def handle(self, node_id: int, packet: Packet) -> bool:
+        """Process a flood packet at a receiving node.
+
+        Returns True exactly once per (node, flood): the first reception,
+        in which case the caller should deliver the inner payload to the
+        application layer.  Rebroadcast happens here when scope and TTL
+        allow.
+        """
+        key = (packet.packet_id, node_id)
+        if key in self._seen:
+            self.stats.count("flood.duplicate")
+            return False
+        self._seen.add(key)
+        envelope: FloodEnvelope = packet.payload
+
+        # Region scoping: out-of-region nodes drop without processing.
+        if envelope.region is not None:
+            pos = self.network.position_of(node_id)
+            if not point_in_polygon(pos, envelope.region):
+                self.stats.count("flood.out_of_scope")
+                return False
+
+        # Rebroadcast if TTL allows.
+        ttl = envelope.ttl
+        if ttl is None:
+            self._rebroadcast(node_id, packet, None)
+        elif ttl > 0:
+            self._rebroadcast(node_id, packet, ttl - 1)
+        return True
+
+    def _rebroadcast(self, node_id: int, packet: Packet, ttl: Optional[int]) -> None:
+        envelope: FloodEnvelope = packet.payload
+        hop_env = envelope.hop_copy(via=node_id, ttl=ttl)
+        hop = Packet(
+            payload=hop_env,
+            size_bytes=packet.size_bytes,
+            src=node_id,
+            hops=packet.hops + 1,
+            created_at=packet.created_at,
+            packet_id=packet.packet_id,
+            category=packet.category,
+        )
+        self.stats.count("flood.rebroadcast")
+        self.network.broadcast(node_id, hop)
+
+    def forget(self, packet_id: int) -> None:
+        """Release duplicate-suppression state for a finished flood."""
+        self._seen = {k for k in self._seen if k[0] != packet_id}

@@ -1,0 +1,224 @@
+"""Greedy Perimeter Stateless Routing (Karp & Kung, MobiCom 2000),
+extended to route-to-region as described by the paper (§2.2, §6).
+
+Forwarding rules
+----------------
+* **Greedy mode**: forward to the neighbor strictly closest to the
+  destination point, if one is closer than the current node.
+* **Perimeter mode** (entered at a local maximum): forward along faces of
+  the Gabriel-graph planarization using the right-hand rule — the next
+  edge is the one sequentially counterclockwise about the current node
+  from the edge the packet arrived on.  The packet records the point
+  ``Lp`` where it entered perimeter mode; any node strictly closer to the
+  destination than ``Lp`` returns the packet to greedy mode.
+* **Failure**: re-traversing the first perimeter edge means the
+  destination is unreachable (disconnected component); the packet is
+  dropped and the drop callback fires.  A hop budget backstops mobility
+  races.
+
+Simplification vs. full GPSR (recorded in DESIGN.md §7): the face-change
+test on crossing the ``Lp``–destination line is folded into the
+greedy-escape check; neighbor tables come from the ground-truth spatial
+index (perfect beaconing).
+
+Route-to-region: the envelope may carry a destination region polygon; the
+first node *inside* the polygon that receives the packet is the arrival
+point (the paper's "point of broadcast"), regardless of distance to the
+region center.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.geom import angle_of, distance, point_in_polygon
+from repro.net.network import WirelessNetwork
+from repro.net.packet import Packet
+from repro.routing.envelopes import GREEDY, PERIMETER, GeoEnvelope
+from repro.routing.planarization import gabriel_neighbors
+
+__all__ = ["GpsrRouter"]
+
+DropHandler = Callable[[int, Packet], None]
+
+
+class GpsrRouter:
+    """Stateless geographic router bound to a :class:`WirelessNetwork`.
+
+    The router holds no per-destination state; all routing state lives in
+    the packet's :class:`GeoEnvelope`, as in the real protocol.
+    """
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        on_drop: Optional[DropHandler] = None,
+        planarizer: Callable[..., np.ndarray] = gabriel_neighbors,
+    ):
+        self.network = network
+        self.on_drop = on_drop
+        self.planarizer = planarizer
+        self.stats = network.stats
+
+    # -- public API ------------------------------------------------------
+
+    def send(
+        self, src: int, envelope: GeoEnvelope, size_bytes: float, category: str = "data"
+    ) -> Packet:
+        """Inject a geo-routed packet at ``src`` and start forwarding.
+
+        Returns the packet.  If ``src`` itself satisfies the arrival
+        condition the packet is *not* self-delivered — callers decide
+        local handling before invoking the router.
+        """
+        packet = Packet(
+            payload=envelope,
+            size_bytes=size_bytes,
+            src=src,
+            created_at=self.network.sim.now,
+            category=category,
+        )
+        envelope.path.append(src)
+        self._forward(src, packet)
+        return packet
+
+    def arrived(self, node_id: int, envelope: GeoEnvelope) -> bool:
+        """Has the packet reached its routing destination at ``node_id``?"""
+        if envelope.dest_node is not None:
+            return node_id == envelope.dest_node
+        pos = self.network.position_of(node_id)
+        if envelope.region is not None:
+            return point_in_polygon(pos, envelope.region)
+        return distance(pos, envelope.dest_point) <= envelope.arrival_radius
+
+    def handle(self, node_id: int, packet: Packet) -> bool:
+        """Process a geo-routed packet at a receiving node.
+
+        Returns True if the packet has arrived (caller delivers the inner
+        payload to the application); otherwise the packet was forwarded
+        (or dropped) and False is returned.
+        """
+        envelope: GeoEnvelope = packet.payload
+        envelope.path.append(node_id)
+        if self.arrived(node_id, envelope):
+            return True
+        self._forward(node_id, packet)
+        return False
+
+    # -- forwarding machinery ----------------------------------------------
+
+    def _forward(self, node_id: int, packet: Packet) -> None:
+        envelope: GeoEnvelope = packet.payload
+        if envelope.hops_remaining <= 0:
+            self._drop(node_id, packet, "hop_budget")
+            return
+        envelope.hops_remaining -= 1
+
+        neighbors = self.network.neighbors_of(node_id)
+        if neighbors.size == 0:
+            self._drop(node_id, packet, "isolated")
+            return
+
+        here = self.network.position_of(node_id)
+        dest = envelope.dest_point
+        positions = self.network.positions()
+
+        if envelope.mode == PERIMETER:
+            # Escape back to greedy as soon as we beat the entry point.
+            if distance(here, dest) < envelope.entry_distance:
+                envelope.mode = GREEDY
+                envelope.entry_point = None
+                envelope.first_edge = None
+
+        if envelope.mode == GREEDY:
+            next_hop = self._greedy_next(here, dest, neighbors, positions)
+            if next_hop is not None:
+                self._transmit(node_id, next_hop, packet, reset_prev=True)
+                return
+            # Local maximum: enter perimeter mode.
+            envelope.mode = PERIMETER
+            envelope.entry_point = here
+            envelope.entry_distance = distance(here, dest)
+            envelope.prev_node = None
+            envelope.first_edge = None
+
+        next_hop = self._perimeter_next(node_id, here, envelope, neighbors, positions)
+        if next_hop is None:
+            self._drop(node_id, packet, "perimeter_dead_end")
+            return
+        edge = (node_id, next_hop)
+        if envelope.first_edge is None:
+            envelope.first_edge = edge
+        elif edge == envelope.first_edge:
+            # Completed a full face tour without escaping: unreachable.
+            self._drop(node_id, packet, "unreachable")
+            return
+        self._transmit(node_id, next_hop, packet, reset_prev=False)
+
+    def _greedy_next(
+        self,
+        here,
+        dest,
+        neighbors: np.ndarray,
+        positions: np.ndarray,
+    ) -> Optional[int]:
+        """Neighbor strictly closer to dest than we are, else None."""
+        diff = positions[neighbors] - np.asarray(dest, dtype=float)
+        dists = np.hypot(diff[:, 0], diff[:, 1])
+        best = int(np.argmin(dists))
+        if dists[best] < distance(here, dest):
+            return int(neighbors[best])
+        return None
+
+    def _perimeter_next(
+        self,
+        node_id: int,
+        here,
+        envelope: GeoEnvelope,
+        neighbors: np.ndarray,
+        positions: np.ndarray,
+    ) -> Optional[int]:
+        """Right-hand-rule next hop on the planarized neighbor set."""
+        planar = self.planarizer(
+            np.asarray(here, dtype=float), positions[neighbors], neighbors
+        )
+        if planar.size == 0:
+            return None
+        # Reference direction: the edge we arrived on, or towards the
+        # destination when entering perimeter mode.
+        if envelope.prev_node is not None:
+            ref = angle_of(here, self.network.position_of(envelope.prev_node))
+        else:
+            ref = angle_of(here, envelope.dest_point)
+        best_id: Optional[int] = None
+        best_angle = math.inf
+        two_pi = 2.0 * math.pi
+        for nid in planar:
+            theta = angle_of(here, (positions[nid][0], positions[nid][1]))
+            ccw = (theta - ref) % two_pi
+            if ccw <= 1e-12:  # arrival edge itself: only as last resort
+                ccw = two_pi
+            if ccw < best_angle:
+                best_angle = ccw
+                best_id = int(nid)
+        if best_id is None and planar.size > 0:
+            best_id = int(planar[0])
+        return best_id
+
+    def _transmit(self, src: int, dst: int, packet: Packet, reset_prev: bool) -> None:
+        envelope: GeoEnvelope = packet.payload
+        envelope.prev_node = None if reset_prev else src
+        hop = packet.next_hop_copy(src=src, dst=dst)
+        self.stats.count("gpsr.hops")
+        if not self.network.unicast(src, dst, hop):
+            # Next hop died or moved away between decision and delivery.
+            self._drop(src, packet, "link_failed")
+
+    def _drop(self, node_id: int, packet: Packet, reason: str) -> None:
+        self.stats.count("gpsr.dropped")
+        self.stats.count(f"gpsr.dropped.{reason}")
+        if self.on_drop is not None:
+            self.on_drop(node_id, packet)

@@ -1,0 +1,461 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine follows the classic event-queue design used by NS-2 and SimPy:
+a priority queue of ``(time, priority, sequence)``-ordered events whose
+callbacks are executed in nondecreasing virtual-time order.  Two layers of
+API are offered:
+
+* a **callback layer** — :meth:`Simulator.schedule` /
+  :meth:`Simulator.schedule_at` register a plain callable to run at a
+  virtual time; this is the fast path used by the network substrate, and
+* a **process layer** — :meth:`Simulator.spawn` drives a Python generator
+  as a cooperative process that may ``yield`` :class:`Timeout`,
+  :class:`Signal`, :class:`Process`, :class:`AllOf` or :class:`AnyOf`
+  instances to suspend itself; this is the convenient path used by
+  workload generators and peer behaviours.
+
+Determinism
+-----------
+Events scheduled for the same virtual time are executed in ``(priority,
+sequence)`` order, where ``sequence`` is a monotonically increasing
+insertion counter.  Given identical inputs and seeds a run is exactly
+reproducible, which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CancelledError",
+    "EventHandle",
+    "Interrupt",
+    "Process",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+class CancelledError(SimulationError):
+    """Raised inside a process whose pending wait was cancelled."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventHandle:
+    """Handle for a scheduled callback, allowing cancellation.
+
+    Cancellation is lazy: the heap entry stays in place but is skipped when
+    popped.  This is O(1) and avoids heap surgery.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+
+class _Waitable:
+    """Base class for things a process may ``yield`` on."""
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> Callable[[], None]:
+        """Arrange for *process* to be resumed; return an unsubscribe thunk."""
+        raise NotImplementedError
+
+
+class Timeout(_Waitable):
+    """Suspend the yielding process for ``delay`` units of virtual time.
+
+    ``value`` is returned to the process when the timeout fires.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> Callable[[], None]:
+        handle = sim.schedule(self.delay, process._resume, self.value)
+        return handle.cancel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal(_Waitable):
+    """A one-shot, multi-waiter event that processes can wait on.
+
+    A :class:`Signal` starts *untriggered*.  Any number of processes may
+    ``yield`` it; when :meth:`trigger` is called every waiter is resumed at
+    the current virtual time with the trigger value.  Processes yielding an
+    already-triggered signal resume immediately (next scheduler step).
+    """
+
+    __slots__ = ("_sim", "triggered", "value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Process] = []
+        self.name = name
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the signal, waking all current waiters.
+
+        Triggering twice is an error: one-shot semantics keep protocol
+        logic honest about reply/response lifecycles.
+        """
+        if self.triggered:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0.0, process._resume, value)
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> Callable[[], None]:
+        if self.triggered:
+            handle = sim.schedule(0.0, process._resume, self.value)
+            return handle.cancel
+        self._waiters.append(process)
+
+        def unsubscribe() -> None:
+            try:
+                self._waiters.remove(process)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class AllOf(_Waitable):
+    """Wait until *all* component waitables complete.
+
+    The resume value is a list of the component values, in the order the
+    components were given.
+    """
+
+    def __init__(self, waitables: Iterable[_Waitable]):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AllOf requires at least one waitable")
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> Callable[[], None]:
+        remaining = len(self.waitables)
+        values: List[Any] = [None] * remaining
+        unsubs: List[Callable[[], None]] = []
+        done = False
+
+        def make_collector(index: int) -> "Process":
+            def body() -> Generator[Any, Any, None]:
+                value = yield self.waitables[index]
+                nonlocal remaining, done
+                values[index] = value
+                remaining -= 1
+                if remaining == 0 and not done:
+                    done = True
+                    sim.schedule(0.0, process._resume, values)
+
+            return sim.spawn(body(), name=f"allof-{index}")
+
+        for i in range(len(self.waitables)):
+            make_collector(i)
+
+        def unsubscribe() -> None:
+            nonlocal done
+            done = True
+            for unsub in unsubs:
+                unsub()
+
+        return unsubscribe
+
+
+class AnyOf(_Waitable):
+    """Wait until *any one* component waitable completes.
+
+    The resume value is ``(index, value)`` of the first completion.
+    Remaining components keep running; their values are discarded.
+    """
+
+    def __init__(self, waitables: Iterable[_Waitable]):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AnyOf requires at least one waitable")
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> Callable[[], None]:
+        done = False
+
+        def make_racer(index: int) -> "Process":
+            def body() -> Generator[Any, Any, None]:
+                value = yield self.waitables[index]
+                nonlocal done
+                if not done:
+                    done = True
+                    sim.schedule(0.0, process._resume, (index, value))
+
+            return sim.spawn(body(), name=f"anyof-{index}")
+
+        for i in range(len(self.waitables)):
+            make_racer(i)
+
+        def unsubscribe() -> None:
+            nonlocal done
+            done = True
+
+        return unsubscribe
+
+
+class Process(_Waitable):
+    """A generator-driven cooperative process.
+
+    Created via :meth:`Simulator.spawn`.  The generator may yield any
+    :class:`_Waitable`; the value the waitable produces is sent back into
+    the generator.  When the generator returns, the process completes and
+    anything waiting on the process itself is resumed with the generator's
+    return value.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "alive", "result", "_completion", "_unsubscribe")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = ""):
+        self.sim = sim
+        self.name = name or f"process-{id(gen):x}"
+        self._gen = gen
+        self.alive = True
+        self.result: Any = None
+        self._completion = Signal(sim, name=f"{self.name}.done")
+        self._unsubscribe: Optional[Callable[[], None]] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _start(self) -> None:
+        self.sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any = None) -> None:
+        if not self.alive:
+            return
+        self._unsubscribe = None
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as termination.
+            self._finish(None)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, _Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not a waitable"
+            )
+        self._unsubscribe = target._subscribe(self.sim, self)
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        self.sim._live_processes.discard(self)
+        if not self._completion.triggered:
+            self._completion.trigger(result)
+
+    # -- public API ------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.alive:
+            self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process immediately without running it further."""
+        if not self.alive:
+            return
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._gen.close()
+        self._finish(None)
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> Callable[[], None]:
+        # Waiting on a process means waiting on its completion signal.
+        return self._completion._subscribe(sim, process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """The event-queue scheduler at the heart of the simulation.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule(2.0, seen.append, "b")
+    >>> _ = sim.schedule(1.0, seen.append, "a")
+    >>> sim.run()
+    >>> seen
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._live_processes: set = set()
+        self._running = False
+        self.events_executed: int = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` units of virtual time.
+
+        ``priority`` breaks ties among same-time events (lower first);
+        insertion order breaks remaining ties.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self.now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time!r}, now={self.now!r})"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._queue, (time, priority, next(self._sequence), handle))
+        return handle
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Start a generator as a cooperative process."""
+        process = Process(self, gen, name=name)
+        self._live_processes.add(process)
+        process._start()
+        return process
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh :class:`Signal` bound to this simulator."""
+        return Signal(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` (convenience mirror of SimPy's API)."""
+        return Timeout(delay, value)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            time, _priority, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.events_executed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def peek(self) -> Optional[float]:
+        """Virtual time of the next pending event, or None if idle."""
+        while self._queue and self._queue[0][3].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget ``max_events`` is exhausted.
+
+        When ``until`` is given the clock is left exactly at ``until`` even
+        if the queue drained earlier, matching SimPy semantics so that
+        rate computations (events per simulated second) stay meaningful.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for entry in self._queue if not entry[3].cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now!r}, pending={self.pending_events})"

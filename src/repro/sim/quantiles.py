@@ -1,0 +1,136 @@
+"""Streaming quantile estimation (the P-square algorithm).
+
+Latency *averages* hide tail behaviour — a scheme can look fine on the
+mean while its p95 explodes (timeout-and-retry paths).  The P² algorithm
+(Jain & Chlamtac 1985) estimates a quantile in O(1) memory per target by
+maintaining five markers whose positions are adjusted with parabolic
+interpolation, making per-request latency percentiles affordable inside
+the simulator's hot path.
+
+Accuracy is excellent for smooth distributions and adequate (a few
+percent) for the mixture distributions request latencies follow; tests
+compare against numpy on both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["P2Quantile", "QuantileSet"]
+
+
+class P2Quantile:
+    """One streaming quantile estimate via the P² algorithm."""
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self._initial: List[float] = []
+        # Marker heights, positions, and desired positions.
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        if self._heights:
+            self._insert(x)
+            return
+        self._initial.append(x)
+        if len(self._initial) == 5:
+            self._initial.sort()
+            q = self.q
+            self._heights = list(self._initial)
+            self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+            self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+            self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def _insert(self, x: float) -> None:
+        h = self._heights
+        pos = self._positions
+        # Find the cell k containing x and update extreme markers.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust interior markers.
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h = self._heights
+        pos = self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step)
+            * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h = self._heights
+        pos = self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (NaN before any sample)."""
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return float("nan")
+        ordered = sorted(self._initial)
+        # Small-sample fallback: nearest-rank.
+        rank = min(len(ordered) - 1, max(0, math.ceil(self.q * len(ordered)) - 1))
+        return ordered[rank]
+
+
+class QuantileSet:
+    """A bundle of P² estimators fed from a single stream."""
+
+    def __init__(self, quantiles: Sequence[float] = (0.5, 0.95, 0.99)):
+        self._estimators: Dict[float, P2Quantile] = {
+            q: P2Quantile(q) for q in quantiles
+        }
+
+    def add(self, x: float) -> None:
+        for est in self._estimators.values():
+            est.add(x)
+
+    def value(self, q: float) -> float:
+        return self._estimators[q].value
+
+    def snapshot(self) -> Dict[float, float]:
+        return {q: est.value for q, est in self._estimators.items()}
+
+    @property
+    def count(self) -> int:
+        ests = list(self._estimators.values())
+        return ests[0].count if ests else 0

@@ -1,0 +1,196 @@
+"""Statistics and trace collection.
+
+Collectors are deliberately dependency-free and cheap: the simulation's
+hot paths (message delivery, cache lookups) increment counters or feed
+one-pass accumulators.  Aggregation into the paper's metrics (latency per
+request, byte hit ratio, false-hit ratio, control message overhead,
+energy per request) happens in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "TimeSeries", "WelfordAccumulator", "StatRegistry"]
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class WelfordAccumulator:
+    """One-pass mean/variance/min/max accumulator (Welford's algorithm).
+
+    Numerically stable for long runs, O(1) memory — suitable for
+    accumulating per-request latencies across hundreds of thousands of
+    requests without storing them all.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1)."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else float("nan")
+
+    def merge(self, other: "WelfordAccumulator") -> "WelfordAccumulator":
+        """Combine two accumulators (Chan et al. parallel merge)."""
+        merged = WelfordAccumulator()
+        n = self.count + other.count
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged.count = n
+        merged.total = self.total + other.total
+        merged._mean = self._mean + delta * other.count / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WelfordAccumulator(n={self.count}, mean={self.mean:.6g})"
+
+
+class TimeSeries:
+    """Append-only (time, value) series for post-run plotting or checks."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} got out-of-order time {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        if not self.times:
+            return None
+        return self.times[-1], self.values[-1]
+
+
+class StatRegistry:
+    """Namespace of counters, accumulators and series for one simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._accumulators: Dict[str, WelfordAccumulator] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def accumulator(self, name: str) -> WelfordAccumulator:
+        a = self._accumulators.get(name)
+        if a is None:
+            a = self._accumulators[name] = WelfordAccumulator()
+        return a
+
+    def series(self, name: str) -> TimeSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = TimeSeries(name)
+        return s
+
+    # -- convenience -----------------------------------------------------
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.accumulator(name).add(value)
+
+    def value(self, name: str) -> float:
+        """Counter value by name (0 if never touched)."""
+        c = self._counters.get(name)
+        return c.value if c else 0.0
+
+    def mean(self, name: str) -> float:
+        """Accumulator mean by name (NaN if never touched)."""
+        a = self._accumulators.get(name)
+        return a.mean if a else float("nan")
+
+    def reset(self) -> None:
+        """Zero all counters and accumulators (end-of-warm-up hook).
+
+        Time series are kept: they are explicitly timestamped, so
+        post-run analysis can window them itself.
+        """
+        for c in self._counters.values():
+            c.value = 0.0
+        for name in list(self._accumulators):
+            self._accumulators[name] = WelfordAccumulator()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of all counters and accumulator means, for reports."""
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[f"count.{name}"] = c.value
+        for name, a in self._accumulators.items():
+            out[f"mean.{name}"] = a.mean
+            out[f"n.{name}"] = float(a.count)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StatRegistry(counters={len(self._counters)}, "
+            f"accumulators={len(self._accumulators)}, series={len(self._series)})"
+        )

@@ -1,0 +1,23 @@
+"""Workload generation.
+
+The paper's workload (§6.1): every peer issues read requests and update
+requests with Poisson inter-arrival times (mean 30 s each by default);
+the requested item is drawn from a Zipf popularity distribution with
+skew parameter ``theta``.
+
+:mod:`repro.workload.database` defines the shared data set (keys with
+heterogeneous sizes); :mod:`repro.workload.zipf` the popularity law;
+:mod:`repro.workload.generator` the per-peer arrival processes.
+"""
+
+from repro.workload.database import Database, DataItem
+from repro.workload.generator import PoissonArrivals, WorkloadGenerator
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "DataItem",
+    "Database",
+    "PoissonArrivals",
+    "WorkloadGenerator",
+    "ZipfSampler",
+]

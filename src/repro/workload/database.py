@@ -1,0 +1,91 @@
+"""The shared data set.
+
+Keys are integers ``0..n_items-1``.  Each item has a byte size (drawn
+uniformly from a configurable range, heterogeneous so that GD-Size and
+GD-LD make different choices) and a monotonically increasing version
+number used by the consistency schemes: an update bumps the version at
+the authoritative (home-region) copy, and a cached copy is *stale* when
+its version lags the authoritative one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["DataItem", "Database"]
+
+
+@dataclass
+class DataItem:
+    """Authoritative state of one data item."""
+
+    key: int
+    size_bytes: float
+    version: int = 0
+    last_update_time: float = 0.0
+    #: Interval between the two most recent updates (drives TTR, eq. 2).
+    last_update_interval: float = 0.0
+    #: Current Time-to-Refresh estimate maintained by the home-region
+    #: custodian (Push-with-Adaptive-Pull, eq. 2).  Stored here because
+    #: the simulation collapses custodian-held authoritative state into
+    #: the shared Database object (message flows are still simulated).
+    ttr: float = 0.0
+
+    def bump_version(self, now: float) -> int:
+        """Record an update at virtual time ``now``; returns new version."""
+        self.last_update_interval = now - self.last_update_time
+        self.last_update_time = now
+        self.version += 1
+        return self.version
+
+
+class Database:
+    """The full collection of data items in the system.
+
+    This object holds *ground truth* (authoritative versions) used both
+    by the protocol's home-region peers and by the metrics layer to
+    detect false hits.  Peers never read it directly for data access —
+    they hold :class:`~repro.core.cache.CachedCopy` replicas.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        rng: np.random.Generator,
+        min_size_bytes: float = 1024.0,
+        max_size_bytes: float = 10240.0,
+    ):
+        if n_items <= 0:
+            raise ValueError(f"n_items must be positive, got {n_items}")
+        if not (0 < min_size_bytes <= max_size_bytes):
+            raise ValueError(
+                f"need 0 < min_size <= max_size, got {min_size_bytes}, {max_size_bytes}"
+            )
+        sizes = rng.uniform(min_size_bytes, max_size_bytes, n_items)
+        self.items: List[DataItem] = [
+            DataItem(key=k, size_bytes=float(sizes[k])) for k in range(n_items)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, key: int) -> DataItem:
+        return self.items[key]
+
+    def size_of(self, key: int) -> float:
+        return self.items[key].size_bytes
+
+    def version_of(self, key: int) -> int:
+        return self.items[key].version
+
+    @property
+    def total_bytes(self) -> float:
+        """Aggregate size of all items — the paper's 'database size'
+        against which cache capacity is expressed (0.5 %-2.5 %)."""
+        return float(sum(item.size_bytes for item in self.items))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database(n_items={len(self.items)}, total={self.total_bytes:.0f} B)"

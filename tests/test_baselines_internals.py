@@ -1,0 +1,110 @@
+"""Unit-level tests of the flooding baseline's internals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FloodingConfig, FloodingRetrievalNetwork
+from repro.baselines.flooding_scheme import FloodRequest, ReversePathResponse
+from repro.config import SimulationConfig
+
+
+def make_net(n_nodes=20, **overrides):
+    defaults = dict(
+        width=600.0,
+        height=600.0,
+        n_nodes=n_nodes,
+        n_items=40,
+        max_speed=None,
+        duration=500.0,
+        warmup=50.0,
+        seed=33,
+    )
+    flood_cfg = overrides.pop("flood_cfg", FloodingConfig())
+    defaults.update(overrides)
+    return FloodingRetrievalNetwork(SimulationConfig(**defaults), flood_cfg)
+
+
+class TestOwnership:
+    def test_every_key_has_exactly_one_owner(self):
+        net = make_net()
+        owned = [k for peer_keys in net._owned.values() for k in peer_keys]
+        assert sorted(owned) == list(range(len(net.db)))
+
+    def test_owner_serves_own_requests_locally(self):
+        net = make_net()
+        owner = next(p for p, keys in net._owned.items() if keys)
+        key = next(iter(net._owned[owner]))
+        net.request(owner, key)
+        assert net.metrics.served_by_class["local-static"] == 1
+
+
+class TestRequestFlow:
+    def test_remote_request_round_trip(self):
+        net = make_net()
+        requester = 0
+        key = next(
+            k for k in range(len(net.db)) if k not in net._owned[requester]
+        )
+        net.request(requester, key)
+        net.sim.run(until=30.0)
+        assert net.metrics.requests_served == 1
+        assert net.metrics.average_latency > 0
+
+    def test_duplicate_answers_suppressed(self):
+        """Expanding-ring retries reuse the request id; the owner must
+        answer a given request only once."""
+        net = make_net()
+        owner, key = next(
+            (p, next(iter(keys)))
+            for p, keys in net._owned.items()
+            if keys and p != 0
+        )
+        from repro.net.packet import Packet
+        from repro.routing.envelopes import FloodEnvelope
+
+        msg = FloodRequest(request_id=777, requester=0, key=key)
+        env = FloodEnvelope(inner=msg, origin=0, record_path=True, path=(0,))
+        pkt = Packet(payload=env, size_bytes=64, src=0)
+        before = net.stats.value("net.unicast_sent")
+        net._on_flood_request(owner, msg, pkt)
+        net._on_flood_request(owner, msg, pkt)  # duplicate
+        after = net.stats.value("net.unicast_sent")
+        assert after - before <= 1
+
+    def test_response_walks_recorded_path(self):
+        net = make_net()
+        # Response forwarding hops through path members in reverse.
+        msg = ReversePathResponse(
+            request_id=1, key=0, requester=5,
+            path=(5, 7, 9), next_index=2, data_size=1000.0,
+        )
+        assert msg.size_bytes == 64.0 + 1000.0
+
+
+class TestTimeouts:
+    def test_unanswerable_request_fails(self):
+        net = make_net()
+        requester = 0
+        key = next(
+            k for k in range(len(net.db)) if k not in net._owned[requester]
+        )
+        owner = int(net._owner_of[key])
+        net.network.fail_node(owner)
+        net.request(requester, key)
+        net.sim.run(until=60.0)
+        assert net.metrics.requests_failed == 1
+
+    def test_expanding_ring_escalates_ttl(self):
+        net = make_net(flood_cfg=FloodingConfig(
+            expanding_ring=True, initial_ttl=0, ttl_factor=2, max_ttl=8,
+            round_timeout=0.5,
+        ))
+        # A key owned by a node multiple hops away from node 0 forces
+        # ring growth; just verify multiple flood rounds occur.
+        requester = 0
+        key = next(
+            k for k in range(len(net.db)) if k not in net._owned[requester]
+        )
+        net.request(requester, key)
+        net.sim.run(until=30.0)
+        assert net.stats.value("flood.initiated") >= 1

@@ -1,0 +1,84 @@
+"""Tests for experiment campaigns (repro.experiments.campaign)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.campaign import Campaign
+
+BASE = SimulationConfig(
+    n_nodes=18,
+    width=700.0,
+    height=700.0,
+    duration=90.0,
+    warmup=15.0,
+    n_items=60,
+)
+
+
+def build(store_dir=None, seeds=(1, 2)):
+    campaign = Campaign("unit-test", store_dir=store_dir)
+    for seed in seeds:
+        campaign.add(f"seed-{seed}", replace(BASE, seed=seed))
+    return campaign
+
+
+class TestCampaignBasics:
+    def test_runs_all_cells(self):
+        campaign = build()
+        reports = campaign.run()
+        assert len(reports) == 2
+        assert [r.config_label for r in reports] == ["seed-1", "seed-2"]
+        assert campaign.pending == []
+        assert campaign.completed == ["seed-1", "seed-2"]
+
+    def test_duplicate_label_rejected(self):
+        campaign = build()
+        with pytest.raises(ValueError):
+            campaign.add("seed-1", BASE)
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            Campaign("")
+        with pytest.raises(ValueError):
+            Campaign("a/b")
+
+    def test_summary_table(self):
+        campaign = build()
+        campaign.run()
+        table = campaign.summary()
+        assert "seed-1" in table and "seed-2" in table
+        assert "latency (s)" in table
+
+    def test_summary_before_run(self):
+        campaign = build()
+        assert "no completed cells" in campaign.summary()
+
+
+class TestPersistenceAndResume:
+    def test_results_persisted(self, tmp_path):
+        campaign = build(store_dir=str(tmp_path))
+        campaign.run()
+        assert (tmp_path / "unit-test.json").exists()
+
+    def test_resume_skips_completed(self, tmp_path):
+        first = build(store_dir=str(tmp_path), seeds=(1,))
+        first.run()
+        # New instance with an extra cell: only the new one runs.
+        second = Campaign("unit-test", store_dir=str(tmp_path))
+        second.add("seed-1", replace(BASE, seed=1))
+        second.add("seed-9", replace(BASE, seed=9))
+        assert second.pending == ["seed-9"]
+        reports = second.run()
+        assert len(reports) == 2
+        assert second.pending == []
+
+    def test_resumed_results_identical(self, tmp_path):
+        first = build(store_dir=str(tmp_path), seeds=(1,))
+        [report_a] = first.run()
+        second = Campaign("unit-test", store_dir=str(tmp_path))
+        second.add("seed-1", replace(BASE, seed=1))
+        [report_b] = second.run()  # loaded, not re-run
+        assert report_b.average_latency == report_a.average_latency
+        assert report_b.requests_issued == report_a.requests_issued

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.nodes == 80
+        assert args.policy == "gd-ld"
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--nodes", "40", "--policy", "gd-size", "--speed", "0",
+             "--consistency", "plain-push", "--t-update", "60"]
+        )
+        assert args.nodes == 40
+        assert args.policy == "gd-size"
+        assert args.speed == 0.0
+        assert args.t_update == 60.0
+
+    def test_fig_choices(self):
+        args = build_parser().parse_args(["fig", "9a", "--quick"])
+        assert args.figure == "9a"
+        assert args.quick
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "12"])
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "arc"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_theory_command(self, capsys):
+        rc = main(["theory", "--nodes", "20", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flooding" in out and "precinct" in out
+        assert out.count("\n") == 3  # header + two rows
+
+    def test_run_command_small(self, capsys):
+        rc = main(
+            ["run", "--nodes", "20", "--duration", "120", "--warmup", "20",
+             "--items", "80", "--speed", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lat=" in out
+        assert "served[" in out
+        assert "p50/p95/p99" in out
+
+    def test_run_with_feature_flags(self, capsys):
+        rc = main(
+            ["run", "--nodes", "20", "--duration", "120", "--warmup", "20",
+             "--items", "80", "--speed", "2", "--digest", "--prefetch",
+             "--map", "--policy", "lfu"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alive" in out  # the topology map status line
+
+    def test_fig_command_dispatch(self, capsys, monkeypatch):
+        """The fig subcommand routes to the right drivers (stubbed)."""
+        import repro.cli as cli
+
+        calls = []
+        monkeypatch.setattr(
+            cli, "run_fig4_fig5", lambda **kw: calls.append("45") or []
+        )
+        monkeypatch.setattr(
+            cli, "run_fig6_fig7_fig8", lambda **kw: calls.append("678") or []
+        )
+        monkeypatch.setattr(
+            cli, "run_fig9a", lambda **kw: calls.append("9a") or []
+        )
+        monkeypatch.setattr(
+            cli, "run_fig9b", lambda **kw: calls.append("9b") or []
+        )
+        assert main(["fig", "all", "--quick"]) == 0
+        assert calls == ["45", "678", "9a", "9b"]
+        calls.clear()
+        assert main(["fig", "6", "--quick"]) == 0
+        assert calls == ["678"]

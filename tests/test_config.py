@@ -1,0 +1,63 @@
+"""Unit tests for SimulationConfig validation (repro.config)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.n_nodes == 80
+        assert cfg.n_regions == 9
+        assert cfg.width == cfg.height == 1200.0
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_nodes=0)
+
+    def test_rejects_bad_regions(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_regions=-1)
+
+    def test_rejects_cache_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(cache_fraction=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(cache_fraction=-0.1)
+
+    def test_rejects_warmup_past_duration(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration=100.0, warmup=100.0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(replacement_policy="arc")
+
+    def test_rejects_unknown_consistency(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(consistency="lease")
+
+    def test_replace_revalidates(self):
+        cfg = SimulationConfig()
+        with pytest.raises(ValueError):
+            replace(cfg, n_nodes=-5)
+
+    def test_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(Exception):
+            cfg.n_nodes = 5  # type: ignore[misc]
+
+    def test_capacity_hint(self):
+        cfg = SimulationConfig(
+            cache_fraction=0.01, n_items=100, min_item_bytes=1000, max_item_bytes=1000
+        )
+        assert cfg.cache_capacity_bytes_hint == pytest.approx(1000.0)
+
+    def test_all_policies_and_schemes_accepted(self):
+        for policy in ("gd-ld", "gd-size", "lru"):
+            SimulationConfig(replacement_policy=policy)
+        for scheme in ("none", "plain-push", "pull-every-time", "push-adaptive-pull"):
+            SimulationConfig(consistency=scheme)

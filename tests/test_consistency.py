@@ -1,0 +1,153 @@
+"""Unit tests for the consistency schemes (repro.core.consistency)."""
+
+import pytest
+
+from repro.core.cache import CachedCopy, PeerCache
+from repro.core.consistency import (
+    ConsistencyScheme,
+    PlainPush,
+    PullEveryTime,
+    PushAdaptivePull,
+)
+from repro.core.messages import Invalidation, UpdatePush
+from repro.workload.database import DataItem
+
+
+def entry(version=0, ttr=0.0, validated_at=0.0):
+    return CachedCopy(
+        key=1, size_bytes=100, version=version, ttr=ttr, validated_at=validated_at
+    )
+
+
+class TestBaseScheme:
+    def test_never_validates(self):
+        s = ConsistencyScheme()
+        assert not s.needs_validation(entry(), now=100.0)
+
+    def test_never_requires_response_validation(self):
+        s = ConsistencyScheme()
+        assert not s.must_validate_response(authoritative=False, fresh=False)
+
+    def test_initial_ttr_zero(self):
+        item = DataItem(key=0, size_bytes=100)
+        assert ConsistencyScheme().initial_ttr(item) == 0.0
+
+
+class TestPlainPush:
+    def test_reads_never_validate(self):
+        s = PlainPush()
+        assert not s.needs_validation(entry(), now=1e9)
+
+    def test_invalidation_evicts_older_version(self):
+        s = PlainPush()
+        cache = PeerCache(1000)
+        cache.insert(entry(version=2), now=0.0)
+        s.on_invalidation_received(cache, Invalidation(key=1, version=5, updater=0))
+        assert 1 not in cache
+
+    def test_invalidation_ignores_current_version(self):
+        """An echo of an invalidation we already incorporated is a no-op."""
+        s = PlainPush()
+        cache = PeerCache(1000)
+        cache.insert(entry(version=5), now=0.0)
+        s.on_invalidation_received(cache, Invalidation(key=1, version=5, updater=0))
+        assert 1 in cache
+
+    def test_invalidation_for_uncached_key_noop(self):
+        s = PlainPush()
+        cache = PeerCache(1000)
+        s.on_invalidation_received(cache, Invalidation(key=1, version=5, updater=0))
+        assert len(cache) == 0
+
+
+class TestPullEveryTime:
+    def test_always_validates(self):
+        s = PullEveryTime()
+        fresh = entry(ttr=1e9, validated_at=0.0)
+        assert s.needs_validation(fresh, now=1.0)
+
+    def test_validates_any_cached_response(self):
+        """Every non-authoritative response is validated before use."""
+        s = PullEveryTime()
+        assert s.must_validate_response(authoritative=False, fresh=True)
+        assert s.must_validate_response(authoritative=False, fresh=False)
+        assert not s.must_validate_response(authoritative=True, fresh=True)
+
+    def test_response_validation_per_scheme(self):
+        pwap = PushAdaptivePull()
+        # PwAP trusts TTR-fresh copies, validates expired ones.
+        assert not pwap.must_validate_response(authoritative=False, fresh=True)
+        assert pwap.must_validate_response(authoritative=False, fresh=False)
+        assert not pwap.must_validate_response(authoritative=True, fresh=True)
+        plain = PlainPush()
+        assert not plain.must_validate_response(authoritative=False, fresh=False)
+
+
+class TestPushAdaptivePull:
+    def test_fresh_ttr_skips_validation(self):
+        s = PushAdaptivePull()
+        e = entry(ttr=100.0, validated_at=50.0)
+        assert not s.needs_validation(e, now=100.0)
+        assert s.needs_validation(e, now=151.0)
+
+    def test_needs_validation_tracks_ttr(self):
+        s = PushAdaptivePull()
+        e = entry(ttr=10.0, validated_at=0.0)
+        assert not s.needs_validation(e, now=5.0)
+        assert s.needs_validation(e, now=20.0)
+
+    def test_initial_ttr_is_default(self):
+        s = PushAdaptivePull(default_ttr=42.0)
+        item = DataItem(key=0, size_bytes=100)
+        assert s.initial_ttr(item) == 42.0
+
+    def test_ttr_ewma_equation(self):
+        """eq. 2: TTR = alpha * TTR + (1 - alpha) * t_upd_intvl."""
+        s = PushAdaptivePull(alpha=0.5, default_ttr=60.0)
+        item = DataItem(key=0, size_bytes=100, ttr=80.0)
+        item.last_update_interval = 40.0
+        msg = UpdatePush(key=0, version=1, update_time=100.0, updater=0, data_size=100)
+        s.on_push_received(item, msg)
+        assert item.ttr == pytest.approx(0.5 * 80.0 + 0.5 * 40.0)
+
+    def test_ttr_starts_from_default_when_unset(self):
+        s = PushAdaptivePull(alpha=0.5, default_ttr=60.0)
+        item = DataItem(key=0, size_bytes=100, ttr=0.0)
+        item.last_update_interval = 20.0
+        msg = UpdatePush(key=0, version=1, update_time=100.0, updater=0, data_size=100)
+        s.on_push_received(item, msg)
+        assert item.ttr == pytest.approx(0.5 * 60.0 + 0.5 * 20.0)
+
+    def test_ttr_converges_to_update_interval(self):
+        """Repeated equal intervals drive TTR to that interval — hot
+        items get short TTRs, cold items long ones (the adaptivity)."""
+        s = PushAdaptivePull(alpha=0.5, default_ttr=500.0)
+        item = DataItem(key=0, size_bytes=100)
+        msg = UpdatePush(key=0, version=1, update_time=0.0, updater=0, data_size=100)
+        now = 0.0
+        for _ in range(30):
+            now += 25.0
+            item.bump_version(now)
+            s.on_push_received(item, msg)
+        assert item.ttr == pytest.approx(25.0, rel=0.01)
+
+    def test_alpha_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            PushAdaptivePull(alpha=1.5)
+        with pytest.raises(ValueError):
+            PushAdaptivePull(alpha=-0.1)
+        with pytest.raises(ValueError):
+            PushAdaptivePull(default_ttr=-1.0)
+
+    def test_alpha_weights_history(self):
+        """Small alpha tracks the latest interval more aggressively."""
+        fast = PushAdaptivePull(alpha=0.1, default_ttr=100.0)
+        slow = PushAdaptivePull(alpha=0.9, default_ttr=100.0)
+        item_fast = DataItem(key=0, size_bytes=100, ttr=100.0)
+        item_slow = DataItem(key=0, size_bytes=100, ttr=100.0)
+        for item in (item_fast, item_slow):
+            item.last_update_interval = 10.0
+        msg = UpdatePush(key=0, version=1, update_time=0.0, updater=0, data_size=100)
+        fast.on_push_received(item_fast, msg)
+        slow.on_push_received(item_slow, msg)
+        assert item_fast.ttr < item_slow.ttr

@@ -1,0 +1,84 @@
+"""Unit tests for the Feeney energy model (repro.energy)."""
+
+import numpy as np
+import pytest
+
+from repro.energy import EnergyLedger, EnergyParams
+
+
+class TestEnergyParams:
+    def test_linear_form(self):
+        p = EnergyParams()
+        assert p.p2p_send(100) == pytest.approx(1.9 * 100 + 454)
+        assert p.p2p_recv(100) == pytest.approx(0.5 * 100 + 356)
+        assert p.bcast_send(100) == pytest.approx(1.9 * 100 + 266)
+        assert p.bcast_recv(100) == pytest.approx(0.5 * 100 + 56)
+        assert p.discard(100) == pytest.approx(0.5 * 100 + 24)
+
+    def test_broadcast_cheaper_than_p2p_fixed_cost(self):
+        """Feeney: broadcast avoids MAC RTS/CTS, so b is smaller."""
+        p = EnergyParams()
+        assert p.bcast_send(0) < p.p2p_send(0)
+        assert p.bcast_recv(0) < p.p2p_recv(0)
+
+    def test_custom_coefficients(self):
+        p = EnergyParams(m_p2p_send=2.0, b_p2p_send=100.0)
+        assert p.p2p_send(50) == 200.0
+
+
+class TestEnergyLedger:
+    def test_charges_accumulate_per_node(self):
+        ledger = EnergyLedger(4)
+        ledger.charge_p2p_send(0, 100)
+        ledger.charge_p2p_recv(1, 100)
+        assert ledger.node_total(0) == pytest.approx(1.9 * 100 + 454)
+        assert ledger.node_total(1) == pytest.approx(0.5 * 100 + 356)
+        assert ledger.node_total(2) == 0.0
+
+    def test_broadcast_recv_charges_all_receivers(self):
+        ledger = EnergyLedger(5)
+        total = ledger.charge_bcast_recv(np.array([1, 2, 3]), 200)
+        each = 0.5 * 200 + 56
+        assert total == pytest.approx(3 * each)
+        for node in (1, 2, 3):
+            assert ledger.node_total(node) == pytest.approx(each)
+
+    def test_empty_receiver_set_is_free(self):
+        ledger = EnergyLedger(3)
+        assert ledger.charge_bcast_recv(np.array([], dtype=int), 100) == 0.0
+        assert ledger.total() == 0.0
+
+    def test_duplicate_receivers_charged_twice(self):
+        """np.add.at semantics: repeated ids accumulate."""
+        ledger = EnergyLedger(3)
+        ledger.charge_bcast_recv(np.array([1, 1]), 100)
+        assert ledger.node_total(1) == pytest.approx(2 * (0.5 * 100 + 56))
+
+    def test_total_is_sum_of_categories(self):
+        ledger = EnergyLedger(3)
+        ledger.charge_p2p_send(0, 10)
+        ledger.charge_bcast_send(1, 10)
+        ledger.charge_discard(np.array([2]), 10)
+        by_cat = ledger.total_by_category()
+        assert ledger.total() == pytest.approx(sum(by_cat.values()))
+        assert by_cat["p2p_send"] > 0
+        assert by_cat["bcast_send"] > 0
+        assert by_cat["discard"] > 0
+
+    def test_per_node_matches_node_total(self):
+        ledger = EnergyLedger(4)
+        ledger.charge_p2p_send(2, 300)
+        ledger.charge_p2p_recv(3, 300)
+        per_node = ledger.per_node()
+        for i in range(4):
+            assert per_node[i] == pytest.approx(ledger.node_total(i))
+
+    def test_reset(self):
+        ledger = EnergyLedger(2)
+        ledger.charge_p2p_send(0, 10)
+        ledger.reset()
+        assert ledger.total() == 0.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(0)

@@ -1,0 +1,96 @@
+"""Tests for the experiment drivers (repro.experiments)."""
+
+import math
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import (
+    run_config,
+    run_fig4_fig5,
+    run_fig6_fig7_fig8,
+    run_fig9a,
+    run_fig9b,
+)
+from repro.experiments.figures import (
+    format_cache_sweep,
+    format_consistency_sweep,
+    format_energy_points,
+)
+from repro.experiments.runner import average_reports, run_seeds
+
+QUICK = dict(duration=200.0, warmup=40.0, seeds=(1,), n_items=200)
+
+
+class TestRunner:
+    def test_run_config_produces_report(self):
+        cfg = SimulationConfig(
+            n_nodes=24, width=800, height=800, duration=120.0, warmup=20.0, n_items=100
+        )
+        report = run_config(cfg, label="x")
+        assert report.config_label == "x"
+        assert report.requests_served > 0
+
+    def test_run_seeds_aggregates(self):
+        cfg = SimulationConfig(
+            n_nodes=24, width=800, height=800, duration=120.0, warmup=20.0, n_items=100
+        )
+        merged = run_seeds(cfg, seeds=(1, 2), label="avg")
+        single = run_config(cfg)
+        assert merged.requests_issued > single.requests_issued  # two runs pooled
+
+    def test_average_reports_ratio_math(self):
+        cfg = SimulationConfig(
+            n_nodes=24, width=800, height=800, duration=120.0, warmup=20.0, n_items=100
+        )
+        r1 = run_config(cfg)
+        merged = average_reports([r1, r1], "m")
+        assert merged.average_latency == pytest.approx(r1.average_latency)
+        assert merged.energy_per_request_mj == pytest.approx(
+            r1.energy_per_request_mj
+        )
+
+    def test_average_reports_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_reports([], "x")
+
+
+class TestFigureDrivers:
+    def test_fig4_5_structure(self):
+        pts = run_fig4_fig5(
+            cache_fractions=(0.01, 0.02), policies=("gd-ld",), n_nodes=24, **QUICK
+        )
+        assert len(pts) == 2
+        for p in pts:
+            assert p.policy == "gd-ld"
+            assert p.latency > 0
+            assert 0 <= p.byte_hit_ratio <= 1
+        out = format_cache_sweep(pts)
+        assert "gd-ld" in out and "byte-hit" in out
+
+    def test_fig6_7_8_structure(self):
+        pts = run_fig6_fig7_fig8(
+            update_ratios=(1.0,), schemes=("push-adaptive-pull",), n_nodes=24, **QUICK
+        )
+        assert len(pts) == 1
+        p = pts[0]
+        assert p.overhead_messages > 0
+        assert p.latency > 0
+        out = format_consistency_sweep(pts)
+        assert "push-adaptive-pull" in out
+
+    def test_fig9a_structure(self):
+        pts = run_fig9a(node_counts=(20,), duration=150.0, warmup=30.0, seeds=(1,), n_items=80)
+        schemes = {p.scheme for p in pts}
+        assert schemes == {"precinct", "flooding"}
+        for p in pts:
+            assert p.simulated_mj > 0 or math.isnan(p.simulated_mj)
+            assert p.theoretical_mj > 0
+        out = format_energy_points(pts, "nodes")
+        assert "flooding" in out
+
+    def test_fig9b_structure(self):
+        pts = run_fig9b(region_counts=(4, 9), duration=150.0, warmup=30.0, seeds=(1,), n_items=80)
+        assert [p.x for p in pts] == [4, 9]
+        # Theory says more regions -> less energy.
+        assert pts[0].theoretical_mj >= pts[1].theoretical_mj

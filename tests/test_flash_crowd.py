@@ -1,0 +1,72 @@
+"""Tests for flash-crowd popularity shifts."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import PReCinCtNetwork
+from repro.sim import RngRegistry
+from repro.workload import ZipfSampler
+from tests.conftest import tiny_config
+
+
+class TestReshuffle:
+    def test_changes_hot_key(self):
+        rng = RngRegistry(3).get("z")
+        sampler = ZipfSampler(500, theta=1.2, rng=rng)
+        hot_before = int(sampler._rank_to_key[0])
+        # Reshuffle until the hot key moves (overwhelmingly first try).
+        for _ in range(5):
+            sampler.reshuffle()
+            if int(sampler._rank_to_key[0]) != hot_before:
+                break
+        assert int(sampler._rank_to_key[0]) != hot_before
+
+    def test_distribution_shape_preserved(self):
+        rng = RngRegistry(4).get("z")
+        sampler = ZipfSampler(100, theta=0.9, rng=rng)
+        before = sampler.probabilities.copy()
+        sampler.reshuffle()
+        assert np.array_equal(sampler.probabilities, before)
+        keys = sampler.sample_many(5000)
+        assert keys.min() >= 0 and keys.max() < 100
+
+    def test_samples_follow_new_mapping(self):
+        rng = RngRegistry(5).get("z")
+        sampler = ZipfSampler(50, theta=1.5, rng=rng)
+        sampler.reshuffle()
+        new_hot = int(sampler._rank_to_key[0])
+        keys = sampler.sample_many(10_000)
+        counts = np.bincount(keys, minlength=50)
+        assert counts.argmax() == new_hot
+
+
+class TestShiftInSimulation:
+    def test_shift_event_fires(self):
+        net = PReCinCtNetwork(
+            tiny_config(popularity_shift_at=80.0, duration=160.0, warmup=20.0)
+        )
+        net.run()
+        assert net.stats.value("workload.popularity_shift") == 1
+
+    def test_shift_depresses_hit_ratio_transiently(self):
+        """After the shift, the cached hot set is obsolete: the post-
+        shift byte hit ratio drops relative to an unshifted twin."""
+        from dataclasses import replace
+
+        base = tiny_config(
+            duration=400.0,
+            warmup=200.0,   # measure the post-shift window only
+            zipf_theta=1.2,
+            cache_fraction=0.06,
+            seed=47,
+        )
+        unshifted = PReCinCtNetwork(base).run()
+        shifted = PReCinCtNetwork(
+            replace(base, popularity_shift_at=200.0)
+        ).run()
+        assert shifted.byte_hit_ratio <= unshifted.byte_hit_ratio + 0.02
+
+    def test_no_shift_by_default(self):
+        net = PReCinCtNetwork(tiny_config())
+        net.run()
+        assert net.stats.value("workload.popularity_shift") == 0

@@ -1,0 +1,101 @@
+"""Unit tests for the geographic hash (repro.core.geohash)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geohash import GeographicHash
+from repro.core.regions import RegionTable
+
+
+class TestLocationHash:
+    def test_deterministic(self):
+        h1 = GeographicHash(1200, 1200, salt=5)
+        h2 = GeographicHash(1200, 1200, salt=5)
+        for key in range(50):
+            assert h1.location_of(key) == h2.location_of(key)
+
+    def test_salt_changes_locations(self):
+        h1 = GeographicHash(1200, 1200, salt=1)
+        h2 = GeographicHash(1200, 1200, salt=2)
+        diffs = sum(h1.location_of(k) != h2.location_of(k) for k in range(50))
+        assert diffs >= 45
+
+    def test_locations_within_plane(self):
+        h = GeographicHash(1200, 800)
+        for key in range(500):
+            x, y = h.location_of(key)
+            assert 0 <= x < 1200
+            assert 0 <= y < 800
+
+    def test_locations_roughly_uniform(self):
+        h = GeographicHash(1000, 1000)
+        xs = np.array([h.location_of(k)[0] for k in range(5000)])
+        ys = np.array([h.location_of(k)[1] for k in range(5000)])
+        # Mean of uniform(0, 1000) is 500 +- a few percent at n=5000.
+        assert abs(xs.mean() - 500) < 25
+        assert abs(ys.mean() - 500) < 25
+        # Each quadrant gets roughly a quarter.
+        q = ((xs < 500) & (ys < 500)).mean()
+        assert 0.2 < q < 0.3
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GeographicHash(0, 100)
+
+
+class TestRegionMapping:
+    def test_home_region_is_closest_center(self):
+        table = RegionTable.grid(1200, 1200, 9)
+        h = GeographicHash(1200, 1200)
+        for key in range(100):
+            loc = h.location_of(key)
+            home = h.home_region(key, table)
+            dist_home = np.hypot(home.center[0] - loc[0], home.center[1] - loc[1])
+            for region in table:
+                dist = np.hypot(region.center[0] - loc[0], region.center[1] - loc[1])
+                assert dist_home <= dist + 1e-9
+
+    def test_replica_is_second_closest_and_distinct(self):
+        table = RegionTable.grid(1200, 1200, 9)
+        h = GeographicHash(1200, 1200)
+        for key in range(100):
+            home, replica = h.home_and_replica(key, table)
+            assert home.region_id != replica.region_id
+            loc = h.location_of(key)
+            d_home = np.hypot(home.center[0] - loc[0], home.center[1] - loc[1])
+            d_rep = np.hypot(replica.center[0] - loc[0], replica.center[1] - loc[1])
+            assert d_home <= d_rep
+
+    def test_single_region_degenerate_replica(self):
+        table = RegionTable.grid(100, 100, 1)
+        h = GeographicHash(100, 100)
+        home, replica = h.home_and_replica(0, table)
+        assert home.region_id == replica.region_id == 0
+
+    def test_keys_spread_across_regions(self):
+        table = RegionTable.grid(1200, 1200, 9)
+        h = GeographicHash(1200, 1200)
+        counts = {rid: 0 for rid in table.region_ids()}
+        n_keys = 900
+        for key in range(n_keys):
+            counts[h.home_region(key, table).region_id] += 1
+        # Every region homes a reasonable share (uniform would be 100).
+        for rid, count in counts.items():
+            assert 40 <= count <= 180, (rid, count)
+
+    def test_keys_of_region_partition(self):
+        table = RegionTable.grid(1200, 1200, 4)
+        h = GeographicHash(1200, 1200)
+        n_keys = 100
+        all_keys = []
+        for rid in table.region_ids():
+            all_keys.extend(h.keys_of_region(rid, n_keys, table))
+        assert sorted(all_keys) == list(range(n_keys))
+
+    def test_home_and_replica_consistent_with_individual_calls(self):
+        table = RegionTable.grid(1200, 1200, 9)
+        h = GeographicHash(1200, 1200)
+        for key in range(20):
+            home, replica = h.home_and_replica(key, table)
+            assert home.region_id == h.home_region(key, table).region_id
+            assert replica.region_id == h.replica_region(key, table).region_id

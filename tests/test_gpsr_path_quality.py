@@ -1,0 +1,96 @@
+"""GPSR path-quality validation: hop-count stretch vs shortest paths.
+
+Beyond *delivering*, geographic routing should deliver *efficiently*:
+on dense unit-disk graphs greedy forwarding approximates shortest
+paths.  We compute ground-truth hop distances with BFS and bound the
+stretch of GPSR's delivered paths.
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.routing import NetworkStack
+from tests.conftest import make_static_network
+from tests.test_routing_properties import unit_disk_components
+
+RANGE = 250.0
+
+
+def bfs_hops(positions, src, dst, radius=RANGE):
+    n = positions.shape[0]
+    d = np.hypot(
+        positions[:, 0][:, None] - positions[:, 0][None, :],
+        positions[:, 1][:, None] - positions[:, 1][None, :],
+    )
+    adjacency = (d <= radius) & ~np.eye(n, dtype=bool)
+    dist = {src: 0}
+    queue = deque([src])
+    while queue:
+        u = queue.popleft()
+        if u == dst:
+            return dist[u]
+        for v in np.flatnonzero(adjacency[u]):
+            if int(v) not in dist:
+                dist[int(v)] = dist[u] + 1
+                queue.append(int(v))
+    return None
+
+
+def route_hops(positions, src, dst):
+    net = make_static_network(positions, width=2000.0, height=2000.0)
+    stack = NetworkStack(net)
+    delivered = []
+    stack.set_app_handler(lambda node, inner, pkt: delivered.append(pkt))
+    stack.geo_send(src, "probe", 64, dest_point=tuple(positions[dst]), dest_node=dst)
+    net.sim.run()
+    if not delivered:
+        return None
+    return delivered[0].hops
+
+
+class TestPathStretch:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dense_topology_stretch_bounded(self, seed):
+        """On dense graphs GPSR stays within 2x of the shortest path."""
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, 900, (60, 2))  # dense: ~14 neighbors
+        labels = unit_disk_components(positions)
+        src, dst = 0, 59
+        if labels[src] != labels[dst]:
+            pytest.skip("random instance disconnected")
+        optimal = bfs_hops(positions, src, dst)
+        actual = route_hops(positions, src, dst)
+        assert actual is not None
+        assert actual <= max(2 * optimal, optimal + 2), (
+            f"seed={seed}: GPSR used {actual} hops, BFS needs {optimal}"
+        )
+
+    def test_straight_line_is_optimal(self):
+        positions = np.array([[i * 200.0, 0.0] for i in range(8)])
+        assert route_hops(positions, 0, 7) == bfs_hops(positions, 0, 7) == 7
+
+    def test_greedy_prefers_long_hops(self):
+        """With a dense chain, greedy skips intermediate nodes."""
+        positions = np.array([[i * 100.0, 0.0] for i in range(11)])  # 1000 m
+        actual = route_hops(positions, 0, 10)
+        # 250 m range: optimal is ceil(1000/200)=5 (nodes at multiples of
+        # 100; max hop 200 m since 250-range covers two 100 m steps).
+        assert actual == bfs_hops(positions, 0, 10)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_perimeter_detours_are_finite(self, seed):
+        """Sparse graphs force perimeter mode; stretch is larger but the
+        path terminates and is loop-free (hop count below budget)."""
+        rng = np.random.default_rng(1000 + seed)
+        positions = rng.uniform(0, 1200, (40, 2))  # sparse-ish
+        labels = unit_disk_components(positions)
+        src, dst = 0, 39
+        if labels[src] != labels[dst]:
+            pytest.skip("random instance disconnected")
+        optimal = bfs_hops(positions, src, dst)
+        actual = route_hops(positions, src, dst)
+        assert actual is not None
+        assert actual < 128  # the hop budget was never the stopper
+        assert actual >= optimal

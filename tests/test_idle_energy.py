@@ -1,0 +1,67 @@
+"""Tests for idle/listening energy accounting (extension)."""
+
+import pytest
+
+from repro.core.network import PReCinCtNetwork
+from repro.energy import EnergyParams
+from tests.conftest import tiny_config
+
+
+class TestIdleParams:
+    def test_idle_energy_formula(self):
+        p = EnergyParams(idle_mw=900.0)
+        # 900 mW for 10 s = 9 J = 9e6 uJ.
+        assert p.idle(10.0) == pytest.approx(9e6)
+
+    def test_default_is_free(self):
+        assert EnergyParams().idle(100.0) == 0.0
+
+
+class TestUptimeTracking:
+    def test_uptime_accumulates(self):
+        net = PReCinCtNetwork(tiny_config(max_speed=None))
+        net.sim.run(until=50.0)
+        uptime = net.network.uptime_seconds()
+        assert uptime == pytest.approx([50.0] * net.cfg.n_nodes)
+
+    def test_dead_time_excluded(self):
+        net = PReCinCtNetwork(tiny_config(max_speed=None))
+        net.sim.run(until=10.0)
+        net.network.fail_node(0)
+        net.sim.run(until=30.0)
+        net.network.revive_node(0)
+        net.sim.run(until=40.0)
+        uptime = net.network.uptime_seconds()
+        assert uptime[0] == pytest.approx(20.0)  # 10 up + 20 down + 10 up
+        assert uptime[1] == pytest.approx(40.0)
+
+    def test_reset_uptime(self):
+        net = PReCinCtNetwork(tiny_config(max_speed=None))
+        net.sim.run(until=25.0)
+        net.network.reset_uptime()
+        net.sim.run(until=40.0)
+        assert net.network.uptime_seconds()[0] == pytest.approx(15.0)
+
+
+class TestIdleInReports:
+    def test_zero_by_default(self):
+        net = PReCinCtNetwork(tiny_config())
+        net.run()
+        assert net.network.idle_energy_uj() == 0.0
+
+    def test_idle_dominates_when_enabled(self):
+        """With WaveLAN-class idle power, listening dwarfs messaging —
+        the well-known reality the paper's model abstracts away."""
+        from dataclasses import replace
+
+        base = tiny_config(seed=51, duration=200.0, warmup=40.0)
+        without = PReCinCtNetwork(base)
+        r_without = without.run()
+        with_idle = PReCinCtNetwork(replace(base, idle_power_mw=900.0))
+        r_with = with_idle.run()
+        assert r_with.energy_total_uj > 5 * r_without.energy_total_uj
+        # Idle energy measured over the post-warm-up window only.
+        expected_idle = 900.0 * 1000.0 * (200.0 - 40.0) * base.n_nodes
+        assert with_idle.network.idle_energy_uj() == pytest.approx(
+            expected_idle, rel=0.05
+        )

@@ -1,0 +1,148 @@
+"""End-to-end integration tests: full simulations with shape assertions.
+
+These runs are deliberately small (tens of seconds of virtual time) but
+exercise every subsystem together: mobility, radio, GPSR, flooding,
+caching, consistency, replication, workload and metrics.
+"""
+
+import math
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.network import PReCinCtNetwork
+from tests.conftest import tiny_config
+
+
+def run(**overrides):
+    net = PReCinCtNetwork(tiny_config(**overrides))
+    report = net.run()
+    return net, report
+
+
+class TestEndToEnd:
+    def test_mobile_run_serves_most_requests(self):
+        net, report = run()
+        assert report.requests_issued > 50
+        assert report.delivery_ratio > 0.85
+        # Serves can exceed issues by at most the handful of requests
+        # in flight across the warm-up reset boundary.
+        slack = 5
+        assert (
+            report.requests_served + report.requests_failed
+            <= report.requests_issued + slack
+        )
+
+    def test_latency_positive_and_bounded(self):
+        _, report = run()
+        assert 0.0 < report.average_latency < 5.0
+
+    def test_byte_hit_ratio_in_unit_interval(self):
+        _, report = run(cache_fraction=0.05)
+        assert 0.0 <= report.byte_hit_ratio <= 1.0
+
+    def test_energy_consumed_and_positive(self):
+        _, report = run()
+        assert report.energy_total_uj > 0
+        assert report.energy_per_request_mj > 0
+
+    def test_caching_localizes_serving(self):
+        """Cooperative caching serves a solid byte share within the
+        region and shifts load away from home-region fetches.  (At tiny
+        scale the *latency* comparison vs no-cache is unfair: no-cache
+        mode skips the regional-search wait entirely.)"""
+        _, no_cache = run(enable_cache=False, seed=21)
+        _, cached = run(cache_fraction=0.08, seed=21)
+        assert cached.byte_hit_ratio > 0.10
+        assert no_cache.byte_hit_ratio <= cached.byte_hit_ratio
+
+        def home_share(report):
+            total = max(report.requests_served, 1)
+            return report.served_by_class["home"] / total
+
+        assert home_share(cached) < home_share(no_cache)
+
+    def test_deterministic_given_seed(self):
+        _, a = run(seed=33)
+        _, b = run(seed=33)
+        assert a.requests_issued == b.requests_issued
+        assert a.requests_served == b.requests_served
+        assert a.average_latency == pytest.approx(b.average_latency)
+        assert a.energy_total_uj == pytest.approx(b.energy_total_uj)
+
+    def test_different_seeds_differ(self):
+        _, a = run(seed=1)
+        _, b = run(seed=2)
+        assert a.requests_issued != b.requests_issued or (
+            a.average_latency != b.average_latency
+        )
+
+    def test_run_twice_rejected(self):
+        net = PReCinCtNetwork(tiny_config())
+        net.run()
+        with pytest.raises(RuntimeError):
+            net.run()
+
+    def test_stationary_topology_runs(self):
+        net, report = run(max_speed=None)
+        assert report.requests_served > 0
+        assert net.stats.value("peer.region_changes") == 0
+
+    def test_mobility_produces_region_changes(self):
+        net, report = run(max_speed=12.0, duration=200.0)
+        assert net.stats.value("peer.region_changes") > 0
+
+    def test_warmup_resets_measurements(self):
+        """Counters reflect only the post-warm-up window."""
+        net, report = run(duration=100.0, warmup=90.0, seed=4)
+        # ~24 peers * 10 s / 30 s/request ~ 8 requests after warm-up.
+        assert report.requests_issued < 40
+
+
+class TestConsistencyIntegration:
+    def test_updates_flow(self):
+        net, report = run(consistency="push-adaptive-pull", t_update=40.0)
+        assert report.updates_issued > 0
+        assert report.consistency_messages > 0
+
+    def test_plain_push_has_higher_overhead_than_pwap(self):
+        _, plain = run(consistency="plain-push", t_update=30.0, seed=8)
+        _, pwap = run(consistency="push-adaptive-pull", t_update=30.0, seed=8)
+        assert plain.consistency_messages > pwap.consistency_messages
+
+    def test_pull_every_time_fhr_near_zero(self):
+        _, report = run(consistency="pull-every-time", t_update=30.0)
+        # Essentially zero; a bounded escape exists for unreachable owners.
+        assert math.isnan(report.false_hit_ratio) or report.false_hit_ratio <= 0.01
+
+    def test_none_scheme_has_no_consistency_traffic(self):
+        _, report = run(consistency="none")
+        assert report.consistency_messages == 0
+
+
+class TestFaultTolerance:
+    def test_node_failures_dont_crash_simulation(self):
+        net = PReCinCtNetwork(tiny_config(seed=13))
+        # Kill a quarter of the population mid-run.
+        for node in range(0, net.cfg.n_nodes, 4):
+            net.sim.schedule(60.0, net.network.fail_node, node)
+        report = net.run()
+        assert report.requests_served > 0
+
+    def test_replication_improves_delivery_under_failures(self):
+        def run_with_failures(enable_replication, seed=17):
+            net = PReCinCtNetwork(
+                tiny_config(
+                    seed=seed,
+                    enable_replication=enable_replication,
+                    duration=250.0,
+                    warmup=50.0,
+                )
+            )
+            for node in range(0, net.cfg.n_nodes, 3):
+                net.sim.schedule(60.0, net.network.fail_node, node)
+            return net.run()
+
+        with_rep = run_with_failures(True)
+        without_rep = run_with_failures(False)
+        assert with_rep.delivery_ratio >= without_rep.delivery_ratio

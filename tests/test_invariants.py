@@ -1,0 +1,79 @@
+"""Tests for the invariant checker — and, through it, deep end-to-end
+state validation of whole simulations."""
+
+import pytest
+
+from repro.core.cache import CachedCopy
+from repro.core.invariants import (
+    InvariantViolation,
+    attach_periodic_checker,
+    check_all,
+    check_cache_accounting,
+    check_custody,
+    check_version_monotonicity,
+)
+from repro.core.network import PReCinCtNetwork
+from tests.conftest import tiny_config
+
+
+class TestInvariantsHoldInRealRuns:
+    def test_plain_mobile_run(self):
+        net = PReCinCtNetwork(tiny_config(seed=3))
+        net.run()
+        check_all(net)
+
+    def test_consistency_run(self):
+        net = PReCinCtNetwork(
+            tiny_config(consistency="push-adaptive-pull", t_update=40.0, seed=5)
+        )
+        net.run()
+        check_all(net)
+
+    def test_churn_run(self):
+        net = PReCinCtNetwork(
+            tiny_config(churn_uptime=80.0, churn_downtime=30.0, seed=7)
+        )
+        net.run()
+        check_all(net)
+
+    def test_dynamic_regions_run(self):
+        net = PReCinCtNetwork(
+            tiny_config(
+                dynamic_regions=True,
+                region_min_peers=2,
+                region_max_peers=8,
+                region_manage_interval=40.0,
+                seed=9,
+            )
+        )
+        net.run()
+        check_all(net)
+
+    def test_periodic_checker_runs_clean(self):
+        net = PReCinCtNetwork(tiny_config(duration=120.0, warmup=20.0, seed=11))
+        attach_periodic_checker(net, interval=15.0)
+        net.run()  # raises on any violation
+
+
+class TestViolationsDetected:
+    def test_cache_accounting_violation(self):
+        net = PReCinCtNetwork(tiny_config())
+        net.peers[0].cache.used_bytes += 1000.0  # corrupt the books
+        with pytest.raises(InvariantViolation):
+            check_cache_accounting(net)
+
+    def test_custody_violation(self):
+        net = PReCinCtNetwork(tiny_config())
+        # Give one key to four peers: exceeds replication degree + slack.
+        for peer in net.peers[:4]:
+            peer.static_keys.add(0)
+        with pytest.raises(InvariantViolation):
+            check_custody(net)
+
+    def test_version_violation(self):
+        net = PReCinCtNetwork(tiny_config())
+        net.peers[0].cache.insert(
+            CachedCopy(key=1, size_bytes=10.0, version=99), now=0.0
+        )
+        with pytest.raises(InvariantViolation):
+            check_version_monotonicity(net)

@@ -1,0 +1,78 @@
+"""Tests for protocol message definitions (repro.core.messages)."""
+
+import pytest
+
+from repro.core.messages import (
+    CONTROL_BYTES,
+    DataResponse,
+    HomeRequest,
+    Invalidation,
+    KeyHandoff,
+    LocalRequest,
+    Poll,
+    PollReply,
+    UpdatePush,
+    next_request_id,
+)
+
+
+class TestRequestIds:
+    def test_monotone_unique(self):
+        ids = [next_request_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)
+
+
+class TestSizes:
+    def test_control_messages_are_small(self):
+        assert LocalRequest(1, 0, (0, 0), 5).size_bytes == CONTROL_BYTES
+        assert HomeRequest(1, 0, (0, 0), 5, 2).size_bytes == CONTROL_BYTES
+        assert Poll(1, 0, (0, 0), 5, 0).size_bytes == CONTROL_BYTES
+        assert Invalidation(5, 1, 0).size_bytes == CONTROL_BYTES
+
+    def test_response_carries_data(self):
+        msg = DataResponse(
+            request_id=1, key=5, version=0, responder=2,
+            responder_region_id=3, ttr=10.0, data_size=4096.0,
+        )
+        assert msg.size_bytes == CONTROL_BYTES + 4096.0
+
+    def test_update_push_carries_data(self):
+        msg = UpdatePush(key=5, version=1, update_time=0.0, updater=0,
+                         data_size=2048.0)
+        assert msg.size_bytes == CONTROL_BYTES + 2048.0
+
+    def test_poll_reply_valid_is_small(self):
+        msg = PollReply(request_id=1, key=5, current_version=3, ttr=10.0,
+                        was_valid=True)
+        assert msg.size_bytes == CONTROL_BYTES
+
+    def test_poll_reply_stale_carries_fresh_data(self):
+        msg = PollReply(request_id=1, key=5, current_version=3, ttr=10.0,
+                        was_valid=False, data_size=4096.0)
+        assert msg.size_bytes == CONTROL_BYTES + 4096.0
+
+    def test_handoff_carries_all_key_data(self):
+        entries = ((1, 0, 0.0, 0.0, 10.0), (2, 3, 5.0, 2.0, 20.0))
+        msg = KeyHandoff(from_peer=0, to_peer=1, entries=entries,
+                         total_data_bytes=8192.0, region_id=4)
+        assert msg.size_bytes == CONTROL_BYTES + 8192.0
+
+
+class TestDefaults:
+    def test_response_defaults(self):
+        msg = DataResponse(
+            request_id=1, key=5, version=0, responder=2,
+            responder_region_id=3, ttr=0.0, data_size=100.0,
+        )
+        assert not msg.authoritative
+        assert msg.fresh
+
+    def test_home_request_replica_flag(self):
+        msg = HomeRequest(1, 0, (0, 0), 5, 2, to_replica=True)
+        assert msg.to_replica
+
+    def test_handoff_retry_metadata(self):
+        msg = KeyHandoff(0, 1, (), 0.0 + 1.0, region_id=2, retries=1)
+        assert msg.retries == 1
+        assert msg.region_id == 2

@@ -1,0 +1,104 @@
+"""Unit tests for metric aggregation (repro.analysis.metrics)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import RequestMetrics, RunReport
+from repro.sim import StatRegistry
+
+
+class TestRequestMetrics:
+    def test_serve_accounting(self):
+        m = RequestMetrics()
+        m.on_request_issued()
+        m.on_served("local-cache", 0.0, 1000, stale=False, validated=False)
+        m.on_request_issued()
+        m.on_served("home", 0.5, 2000, stale=False, validated=False)
+        assert m.requests_issued == 2
+        assert m.requests_served == 2
+        assert m.bytes_served == 3000
+        assert m.bytes_served_local == 1000
+        assert m.byte_hit_ratio == pytest.approx(1000 / 3000)
+        assert m.average_latency == pytest.approx(0.25)
+
+    def test_byte_hit_classes(self):
+        m = RequestMetrics()
+        for cls, local in [
+            ("local-static", True),
+            ("local-cache", True),
+            ("regional", True),
+            ("home", False),
+            ("replica", False),
+            ("intercept", False),
+        ]:
+            m.on_served(cls, 0.1, 100, stale=False, validated=False)
+        assert m.bytes_served_local == 300
+
+    def test_false_hit_ratio(self):
+        m = RequestMetrics()
+        m.on_served("local-cache", 0.0, 100, stale=True, validated=False)
+        m.on_served("local-cache", 0.0, 100, stale=False, validated=False)
+        m.on_served("home", 0.1, 100, stale=False, validated=True)
+        # 1 stale out of 3 shown-valid serves.
+        assert m.false_hit_ratio == pytest.approx(1 / 3)
+
+    def test_validated_serves_never_count_stale(self):
+        m = RequestMetrics()
+        m.on_served("local-cache", 0.0, 100, stale=True, validated=True)
+        assert m.stale_serves == 0
+
+    def test_empty_ratios_nan(self):
+        m = RequestMetrics()
+        assert math.isnan(m.byte_hit_ratio)
+        assert math.isnan(m.false_hit_ratio)
+        assert math.isnan(m.average_latency)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMetrics().on_served("weird", 0.0, 1, stale=False, validated=False)
+
+    def test_reset(self):
+        m = RequestMetrics()
+        m.on_request_issued()
+        m.on_served("home", 0.5, 100, stale=False, validated=False)
+        m.reset()
+        assert m.requests_issued == 0
+        assert m.requests_served == 0
+        assert m.bytes_served == 0
+
+
+class TestRunReport:
+    def make_report(self, served=10, energy_uj=50_000.0):
+        m = RequestMetrics()
+        for _ in range(served):
+            m.on_request_issued()
+            m.on_served("home", 0.4, 1000, stale=False, validated=False)
+        stats = StatRegistry()
+        stats.count("net.broadcast_sent", 100)
+        stats.count("net.unicast_sent", 50)
+        stats.count("net.sent.consistency", 7)
+        return RunReport.from_run("test", 100.0, m, stats, energy_uj)
+
+    def test_energy_per_request_mj(self):
+        r = self.make_report(served=10, energy_uj=50_000.0)
+        assert r.energy_per_request_mj == pytest.approx(5.0)
+
+    def test_counts_copied_from_stats(self):
+        r = self.make_report()
+        assert r.total_messages == 150
+        assert r.consistency_messages == 7
+
+    def test_delivery_ratio(self):
+        r = self.make_report(served=10)
+        assert r.delivery_ratio == 1.0
+
+    def test_zero_served_energy_nan(self):
+        m = RequestMetrics()
+        r = RunReport.from_run("t", 1.0, m, StatRegistry(), 100.0)
+        assert math.isnan(r.energy_per_request_mj)
+        assert math.isnan(r.delivery_ratio)
+
+    def test_row_renders(self):
+        row = self.make_report().row()
+        assert "lat=" in row and "bhr=" in row and "E/req=" in row

@@ -1,0 +1,143 @@
+"""Unit tests for mobility models (repro.mobility)."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import GridPlacement, RandomWaypointModel, StationaryModel
+from repro.sim import RngRegistry
+
+
+def make_rwp(n=20, width=1200.0, height=1200.0, vmax=10.0, pause=5.0, seed=3):
+    rng = RngRegistry(seed).get("mobility")
+    return RandomWaypointModel(
+        n, width, height, max_speed=vmax, pause_time=pause, rng=rng
+    )
+
+
+class TestRandomWaypoint:
+    def test_positions_shape(self):
+        model = make_rwp(n=15)
+        pos = model.positions_at(0.0)
+        assert pos.shape == (15, 2)
+
+    def test_positions_stay_in_bounds(self):
+        model = make_rwp(n=30, vmax=20.0)
+        for t in np.linspace(0, 500, 101):
+            pos = model.positions_at(float(t))
+            assert (pos[:, 0] >= 0).all() and (pos[:, 0] <= 1200).all()
+            assert (pos[:, 1] >= 0).all() and (pos[:, 1] <= 1200).all()
+
+    def test_speed_never_exceeds_vmax(self):
+        model = make_rwp(n=25, vmax=8.0)
+        dt = 0.5
+        prev = model.positions_at(0.0).copy()
+        for step in range(1, 200):
+            cur = model.positions_at(step * dt)
+            speeds = np.hypot(*(cur - prev).T) / dt
+            assert (speeds <= 8.0 + 1e-6).all()
+            prev = cur.copy()
+
+    def test_nodes_actually_move(self):
+        model = make_rwp(n=10, vmax=10.0, pause=0.0)
+        p0 = model.positions_at(0.0).copy()
+        p1 = model.positions_at(60.0)
+        moved = np.hypot(*(p1 - p0).T)
+        assert (moved > 1.0).sum() >= 8  # nearly all nodes moved
+
+    def test_trajectory_continuous(self):
+        """No teleporting: displacement over a tiny dt is tiny."""
+        model = make_rwp(n=20, vmax=20.0)
+        prev = model.positions_at(100.0).copy()
+        cur = model.positions_at(100.01)
+        assert (np.hypot(*(cur - prev).T) <= 20.0 * 0.01 + 1e-9).all()
+
+    def test_deterministic_given_seed(self):
+        a = make_rwp(seed=9).positions_at(123.0)
+        b = make_rwp(seed=9).positions_at(123.0)
+        assert np.array_equal(a, b)
+
+    def test_time_must_be_nondecreasing(self):
+        model = make_rwp()
+        model.positions_at(10.0)
+        with pytest.raises(ValueError):
+            model.positions_at(5.0)
+
+    def test_pause_keeps_node_at_destination(self):
+        # With an enormous pause, after the first leg completes every
+        # node sits still.
+        model = make_rwp(n=5, vmax=1000.0, pause=1e9)
+        model.positions_at(0.0)
+        p1 = model.positions_at(100.0).copy()  # legs done (fast speed)
+        p2 = model.positions_at(200.0)
+        assert np.allclose(p1, p2)
+
+    def test_expected_speed(self):
+        model = make_rwp(vmax=10.0)
+        assert 0 < model.expected_speed() <= 10.0
+
+    def test_validation_errors(self):
+        rng = RngRegistry(0).get("m")
+        with pytest.raises(ValueError):
+            RandomWaypointModel(10, 100, 100, max_speed=-1, rng=rng)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(10, 100, 100, max_speed=5, min_speed=6, rng=rng)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(10, 100, 100, max_speed=5, pause_time=-1, rng=rng)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(0, 100, 100, max_speed=5, rng=rng)
+
+
+class TestStationary:
+    def test_never_moves(self):
+        rng = RngRegistry(1).get("p")
+        model = StationaryModel(12, 600, 600, rng=rng)
+        p0 = model.positions_at(0.0).copy()
+        p1 = model.positions_at(1000.0)
+        assert np.array_equal(p0, p1)
+
+    def test_positions_in_bounds(self):
+        rng = RngRegistry(2).get("p")
+        model = StationaryModel(50, 600, 400, rng=rng)
+        pos = model.positions_at(0.0)
+        assert (pos[:, 0] <= 600).all() and (pos[:, 1] <= 400).all()
+        assert (pos >= 0).all()
+
+    def test_explicit_positions(self):
+        rng = RngRegistry(3).get("p")
+        explicit = np.array([[1.0, 2.0], [3.0, 4.0]])
+        model = StationaryModel(2, 10, 10, rng=rng, positions=explicit)
+        assert np.array_equal(model.positions_at(5.0), explicit)
+
+    def test_explicit_positions_shape_checked(self):
+        rng = RngRegistry(3).get("p")
+        with pytest.raises(ValueError):
+            StationaryModel(3, 10, 10, rng=rng, positions=np.zeros((2, 2)))
+
+
+class TestGridPlacement:
+    def test_exact_count(self):
+        model = GridPlacement(17, 500, 500)
+        assert model.positions_at(0.0).shape == (17, 2)
+
+    def test_covers_plane_roughly_uniformly(self):
+        model = GridPlacement(100, 1000, 1000)
+        pos = model.positions_at(0.0)
+        # Each quadrant gets roughly a quarter of the nodes.
+        for qx, qy in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            mask = (
+                (pos[:, 0] >= qx * 500)
+                & (pos[:, 0] < (qx + 1) * 500)
+                & (pos[:, 1] >= qy * 500)
+                & (pos[:, 1] < (qy + 1) * 500)
+            )
+            assert 15 <= mask.sum() <= 35
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            GridPlacement(10, 100, 100, jitter=5.0)
+
+    def test_jitter_stays_in_bounds(self):
+        rng = RngRegistry(4).get("g")
+        model = GridPlacement(25, 100, 100, rng=rng, jitter=50.0)
+        pos = model.positions_at(0.0)
+        assert (pos >= 0).all() and (pos <= 100).all()

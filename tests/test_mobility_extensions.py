@@ -1,0 +1,135 @@
+"""Tests for the Manhattan and group (RPGM) mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import GroupMobilityModel, ManhattanModel
+from repro.sim import RngRegistry
+
+
+def make_manhattan(n=20, seed=4, **kw):
+    rng = RngRegistry(seed).get("mobility")
+    defaults = dict(n_streets=7, max_speed=10.0)
+    defaults.update(kw)
+    return ManhattanModel(n, 1200.0, 1200.0, rng=rng, **defaults)
+
+
+def make_group(n=24, seed=4, **kw):
+    rng = RngRegistry(seed).get("mobility")
+    defaults = dict(n_groups=4, group_radius=100.0, max_speed=6.0)
+    defaults.update(kw)
+    return GroupMobilityModel(n, 1200.0, 1200.0, rng=rng, **defaults)
+
+
+class TestManhattan:
+    def test_positions_in_bounds(self):
+        model = make_manhattan(n=30)
+        for t in np.linspace(0, 400, 81):
+            pos = model.positions_at(float(t))
+            assert (pos >= -1e-9).all()
+            assert (pos[:, 0] <= 1200 + 1e-9).all()
+            assert (pos[:, 1] <= 1200 + 1e-9).all()
+
+    def test_nodes_stay_on_streets(self):
+        """At any time each node is on a horizontal or vertical street."""
+        model = make_manhattan(n=25, n_streets=7)
+        block = 1200.0 / 6
+        for t in (10.0, 50.0, 123.4, 300.0):
+            pos = model.positions_at(t)
+            on_v = np.abs(pos[:, 0] / block - np.rint(pos[:, 0] / block)) < 1e-6
+            on_h = np.abs(pos[:, 1] / block - np.rint(pos[:, 1] / block)) < 1e-6
+            assert (on_v | on_h).all()
+
+    def test_speed_bounded(self):
+        model = make_manhattan(n=20, max_speed=8.0)
+        dt = 0.25
+        prev = model.positions_at(0.0).copy()
+        for step in range(1, 200):
+            cur = model.positions_at(step * dt)
+            speeds = np.hypot(*(cur - prev).T) / dt
+            assert (speeds <= 8.0 * np.sqrt(2) + 1e-6).all()  # corner turns
+            prev = cur.copy()
+
+    def test_nodes_move(self):
+        model = make_manhattan(n=20)
+        p0 = model.positions_at(0.0).copy()
+        p1 = model.positions_at(120.0)
+        assert (np.hypot(*(p1 - p0).T) > 1.0).sum() >= 15
+
+    def test_deterministic(self):
+        a = make_manhattan(seed=9).positions_at(77.0)
+        b = make_manhattan(seed=9).positions_at(77.0)
+        assert np.array_equal(a, b)
+
+    def test_time_monotonicity_enforced(self):
+        model = make_manhattan()
+        model.positions_at(50.0)
+        with pytest.raises(ValueError):
+            model.positions_at(10.0)
+
+    def test_validation(self):
+        rng = RngRegistry(0).get("m")
+        with pytest.raises(ValueError):
+            ManhattanModel(5, 100, 100, rng=rng, n_streets=1)
+        with pytest.raises(ValueError):
+            ManhattanModel(5, 100, 100, rng=rng, min_speed=5, max_speed=2)
+        with pytest.raises(ValueError):
+            ManhattanModel(5, 100, 100, rng=rng, p_turn=1.5)
+
+
+class TestGroupMobility:
+    def test_positions_in_bounds(self):
+        model = make_group(n=30)
+        for t in np.linspace(0, 300, 61):
+            pos = model.positions_at(float(t))
+            assert (pos >= 0).all() and (pos <= 1200).all()
+
+    def test_members_stay_near_reference(self):
+        model = make_group(n=24, n_groups=4, group_radius=80.0)
+        for t in (5.0, 60.0, 200.0):
+            pos = model.positions_at(t)
+            ref = model._reference.positions_at(t)
+            offsets = pos - ref[model.group_of]
+            # Clipping at the boundary can shrink offsets, never grow them.
+            assert (np.hypot(offsets[:, 0], offsets[:, 1]) <= 80.0 + 1e-6).all()
+
+    def test_group_assignment_round_robin(self):
+        model = make_group(n=10, n_groups=3)
+        assert model.group_of.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_groups_move_together(self):
+        """Members of one group stay mutually closer than the plane size."""
+        model = make_group(n=20, n_groups=2, group_radius=50.0)
+        pos = model.positions_at(150.0)
+        for g in range(2):
+            members = pos[model.group_of == g]
+            spread = np.hypot(
+                members[:, 0] - members[:, 0].mean(),
+                members[:, 1] - members[:, 1].mean(),
+            )
+            assert (spread <= 110.0).all()  # 2 * radius + slack
+
+    def test_continuous_offsets(self):
+        """Jitter windows interpolate: no teleporting at window edges."""
+        model = make_group(n=12, member_jitter_interval=10.0, max_speed=2.0)
+        prev = model.positions_at(9.9).copy()
+        cur = model.positions_at(10.1)
+        assert (np.hypot(*(cur - prev).T) < 30.0).all()
+
+    def test_deterministic(self):
+        a = make_group(seed=3).positions_at(42.0)
+        b = make_group(seed=3).positions_at(42.0)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        rng = RngRegistry(0).get("g")
+        with pytest.raises(ValueError):
+            GroupMobilityModel(5, 100, 100, rng=rng, n_groups=0)
+        with pytest.raises(ValueError):
+            GroupMobilityModel(5, 100, 100, rng=rng, group_radius=-1)
+        with pytest.raises(ValueError):
+            GroupMobilityModel(5, 100, 100, rng=rng, member_jitter_interval=0)
+
+    def test_more_groups_than_nodes_clamped(self):
+        model = make_group(n=3, n_groups=10)
+        assert model.n_groups == 3

@@ -1,0 +1,67 @@
+"""Tests for ASCII chart rendering (repro.analysis.plotting)."""
+
+import math
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart, ascii_log_chart
+
+
+SERIES = {
+    "gd-ld": [(0.5, 0.40), (1.5, 0.46), (2.5, 0.49)],
+    "gd-size": [(0.5, 0.37), (1.5, 0.44), (2.5, 0.47)],
+}
+
+
+class TestAsciiChart:
+    def test_renders_with_title_and_legend(self):
+        out = ascii_chart(SERIES, title="Fig 5", x_label="cache%", y_label="bhr")
+        assert out.startswith("Fig 5")
+        assert "o=gd-ld" in out
+        assert "x=gd-size" in out
+        assert "cache%" in out
+
+    @staticmethod
+    def marks_in_plot(out: str, mark: str = "o") -> int:
+        return sum(l.count(mark) for l in out.splitlines() if l.startswith("|"))
+
+    def test_all_points_plotted(self):
+        out = ascii_chart({"s": [(0, 0), (1, 1), (2, 4)]})
+        assert self.marks_in_plot(out) == 3
+
+    def test_dimensions_respected(self):
+        out = ascii_chart(SERIES, width=30, height=8)
+        plot_rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(plot_rows) == 8
+        assert all(len(l) == 31 for l in plot_rows)
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_chart({"flat": [(0, 5.0), (1, 5.0), (2, 5.0)]})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = ascii_chart({"p": [(1.0, 2.0)]})
+        assert self.marks_in_plot(out) == 1
+
+    def test_nan_points_skipped(self):
+        out = ascii_chart({"s": [(0, 1.0), (1, math.nan), (2, 3.0)]})
+        assert self.marks_in_plot(out) == 2
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"s": []}, title="t")
+
+    def test_log_scale(self):
+        out = ascii_log_chart(
+            {"overhead": [(1, 100.0), (3, 10.0), (5, 1.0)]}, y_label="msgs"
+        )
+        assert "(log)" in out
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_log_chart({"s": [(0, 0.0)]})
+
+    def test_distinct_markers_per_series(self):
+        out = ascii_chart(
+            {"a": [(0, 1)], "b": [(1, 2)], "c": [(2, 3)]}
+        )
+        assert "o=a" in out and "x=b" in out and "+=c" in out

@@ -1,0 +1,63 @@
+"""Tests for validation-poll failover (§2.4 applied to polls)."""
+
+import pytest
+
+from tests.test_peer_protocol import (
+    custodian_of,
+    make_net,
+    pick_cross_region_case,
+    replica_custodian_of,
+)
+
+
+def cache_then_expire(net, requester, key):
+    """Fetch the key so the requester caches it, then let its TTR lapse."""
+    requester.request(key)
+    net.sim.run(until=20.0)
+    assert key in requester.cache
+    entry = requester.cache.get(key)
+    entry.ttr = 1.0
+    entry.validated_at = 0.0  # long expired
+
+
+class TestPollFailover:
+    def test_poll_falls_back_to_replica_custodian(self):
+        net = make_net(consistency="push-adaptive-pull")
+        requester, key = pick_cross_region_case(net)
+        cache_then_expire(net, requester, key)
+        # Kill the home custodian: the first poll times out; the retry
+        # targets the replica region, whose custodian answers.
+        home_peer = custodian_of(net, key)
+        assert replica_custodian_of(net, key) is not None
+        net.network.fail_node(home_peer.id)
+        served_before = net.metrics.requests_served
+        requester.request(key)  # expired TTR -> poll
+        net.sim.run(until=40.0)
+        assert net.metrics.requests_served == served_before + 1
+        assert net.metrics.validated_serves >= 1
+        assert net.stats.value("peer.poll_timeout") >= 1
+
+    def test_poll_gives_up_after_both_regions_fail(self):
+        net = make_net(consistency="push-adaptive-pull")
+        requester, key = pick_cross_region_case(net)
+        cache_then_expire(net, requester, key)
+        net.network.fail_node(custodian_of(net, key).id)
+        net.network.fail_node(replica_custodian_of(net, key).id)
+        requester.request(key)
+        net.sim.run(until=60.0)
+        # Both polls timed out; the copy was evicted and the request
+        # restarted as a full search with no_validate set.
+        assert net.stats.value("peer.poll_timeout") >= 2
+        # The request terminated one way or the other (no infinite loop).
+        assert not requester.pending
+
+    def test_replication_off_skips_replica_poll(self):
+        net = make_net(consistency="push-adaptive-pull", enable_replication=False)
+        requester, key = pick_cross_region_case(net)
+        cache_then_expire(net, requester, key)
+        net.network.fail_node(custodian_of(net, key).id)
+        requester.request(key)
+        net.sim.run(until=60.0)
+        # Only one poll attempt (home); no replica retry configured.
+        assert net.stats.value("peer.poll_timeout") == 1
+        assert not requester.pending

@@ -1,0 +1,89 @@
+"""Tests for popularity prefetching (the ref. [14] extension)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.network import PReCinCtNetwork
+from tests.conftest import tiny_config
+from tests.test_peer_protocol import make_net, pick_cross_region_case
+
+
+class TestPrefetchUnit:
+    def test_prefetch_fetches_and_caches(self):
+        net = make_net(enable_prefetch=True)
+        peer, key = pick_cross_region_case(net)
+        assert peer.prefetch(key)
+        net.sim.run(until=20.0)
+        assert key in peer.cache
+        assert net.stats.value("prefetch.issued") == 1
+        assert net.stats.value("prefetch.completed") == 1
+        # No user-facing metrics were touched.
+        assert net.metrics.requests_issued == 0
+        assert net.metrics.requests_served == 0
+
+    def test_prefetch_skips_already_held(self):
+        net = make_net(enable_prefetch=True)
+        peer = next(p for p in net.peers if p.static_keys)
+        key = next(iter(peer.static_keys))
+        assert not peer.prefetch(key)
+
+    def test_candidates_ranked_by_popularity(self):
+        net = make_net(enable_prefetch=True)
+        peer, _ = pick_cross_region_case(net)
+        peer.observed_access = {1: 5, 2: 9, 3: 1, 4: 7}
+        peer.static_keys.discard(2)
+        got = peer.prefetch_candidates(limit=2, min_count=2)
+        assert got[0] == 2
+        assert got[1] == 4
+
+    def test_candidates_respect_min_count(self):
+        net = make_net(enable_prefetch=True)
+        peer, _ = pick_cross_region_case(net)
+        peer.observed_access = {1: 1, 2: 1}
+        assert peer.prefetch_candidates(limit=5, min_count=2) == []
+
+    def test_failed_prefetch_counts_separately(self):
+        net = make_net(enable_prefetch=True, enable_replication=False)
+        peer, key = pick_cross_region_case(net)
+        from tests.test_peer_protocol import custodian_of
+
+        net.network.fail_node(custodian_of(net, key).id)
+        peer.prefetch(key)
+        net.sim.run(until=60.0)
+        assert net.stats.value("prefetch.failed") == 1
+        assert net.metrics.requests_failed == 0
+
+
+class TestPrefetchIntegration:
+    def test_prefetch_runs_and_caches_hot_keys(self):
+        net = PReCinCtNetwork(
+            tiny_config(
+                enable_prefetch=True,
+                prefetch_interval=20.0,
+                seed=25,
+                zipf_theta=1.1,
+            )
+        )
+        report = net.run()
+        assert net.stats.value("prefetch.issued") > 0
+        assert report.requests_served > 0
+
+    def test_prefetch_improves_local_cache_hits(self):
+        base = tiny_config(seed=27, zipf_theta=1.1, duration=300.0, warmup=80.0,
+                           cache_fraction=0.08)
+        plain = PReCinCtNetwork(base).run()
+        pref = PReCinCtNetwork(
+            replace(base, enable_prefetch=True, prefetch_interval=15.0)
+        ).run()
+        plain_local = plain.served_by_class["local-cache"]
+        pref_local = pref.served_by_class["local-cache"]
+        assert pref_local >= plain_local
+
+    def test_prefetch_traffic_categorized(self):
+        net = PReCinCtNetwork(
+            tiny_config(enable_prefetch=True, prefetch_interval=15.0, seed=25,
+                        zipf_theta=1.1)
+        )
+        report = net.run()
+        assert report.extra.get("sent.prefetch", 0.0) > 0

@@ -1,0 +1,102 @@
+"""Tests for the P-square streaming quantile estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.quantiles import P2Quantile, QuantileSet
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+    def test_uniform_distribution(self, q):
+        rng = np.random.default_rng(1)
+        xs = rng.random(20_000)
+        est = P2Quantile(q)
+        for x in xs:
+            est.add(float(x))
+        true = float(np.quantile(xs, q))
+        assert est.value == pytest.approx(true, abs=0.02)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95])
+    def test_normal_distribution(self, q):
+        rng = np.random.default_rng(2)
+        xs = rng.normal(100.0, 15.0, 20_000)
+        est = P2Quantile(q)
+        for x in xs:
+            est.add(float(x))
+        true = float(np.quantile(xs, q))
+        assert est.value == pytest.approx(true, rel=0.03)
+
+    def test_bimodal_mixture(self):
+        """Latency-like mixture: fast local serves + slow timeouts."""
+        rng = np.random.default_rng(3)
+        fast = rng.exponential(0.02, 8000)
+        slow = 0.25 + rng.exponential(0.1, 2000)
+        xs = np.concatenate([fast, slow])
+        rng.shuffle(xs)
+        est = P2Quantile(0.95)
+        for x in xs:
+            est.add(float(x))
+        true = float(np.quantile(xs, 0.95))
+        assert est.value == pytest.approx(true, rel=0.15)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+    def test_small_sample_nearest_rank(self):
+        est = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            est.add(x)
+        assert est.value == 2.0
+
+    def test_exactly_five_samples_initializes(self):
+        est = P2Quantile(0.5)
+        for x in (5.0, 1.0, 4.0, 2.0, 3.0):
+            est.add(x)
+        assert est.value == 3.0
+
+    def test_constant_stream(self):
+        est = P2Quantile(0.9)
+        for _ in range(100):
+            est.add(7.0)
+        assert est.value == pytest.approx(7.0)
+
+    def test_monotone_stream(self):
+        est = P2Quantile(0.5)
+        for i in range(1, 10_001):
+            est.add(float(i))
+        assert est.value == pytest.approx(5000.0, rel=0.02)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_count_tracked(self):
+        est = P2Quantile(0.5)
+        for i in range(42):
+            est.add(float(i))
+        assert est.count == 42
+
+
+class TestQuantileSet:
+    def test_bundle(self):
+        rng = np.random.default_rng(4)
+        xs = rng.random(10_000)
+        qs = QuantileSet((0.5, 0.95))
+        for x in xs:
+            qs.add(float(x))
+        snap = qs.snapshot()
+        assert snap[0.5] == pytest.approx(0.5, abs=0.03)
+        assert snap[0.95] == pytest.approx(0.95, abs=0.03)
+        assert qs.count == 10_000
+
+    def test_ordering_of_estimates(self):
+        rng = np.random.default_rng(5)
+        qs = QuantileSet((0.5, 0.95, 0.99))
+        for x in rng.exponential(1.0, 20_000):
+            qs.add(float(x))
+        assert qs.value(0.5) < qs.value(0.95) < qs.value(0.99)

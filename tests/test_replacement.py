@@ -1,0 +1,105 @@
+"""Unit tests for replacement policies (repro.core.replacement)."""
+
+import pytest
+
+from repro.core.cache import CachedCopy
+from repro.core.replacement import GDLDPolicy, GDSizePolicy, LRUPolicy
+
+
+def copy(key=0, size=1024.0, ac=0, reg_dst=0.0, **kw):
+    return CachedCopy(
+        key=key, size_bytes=size, version=0, access_count=ac,
+        region_distance=reg_dst, **kw,
+    )
+
+
+class TestGDLD:
+    def test_utility_formula(self):
+        p = GDLDPolicy(wr=2.0, wd=0.5, ws=100.0)
+        e = copy(ac=3, reg_dst=10.0, size=50.0)
+        assert p.base_utility(e) == pytest.approx(2.0 * 3 + 0.5 * 10.0 + 100.0 / 50.0)
+
+    def test_popularity_raises_utility(self):
+        p = GDLDPolicy()
+        cold = copy(ac=1, reg_dst=100, size=1000)
+        hot = copy(ac=50, reg_dst=100, size=1000)
+        assert p.base_utility(hot) > p.base_utility(cold)
+
+    def test_distance_raises_utility(self):
+        """The paper's key claim: far-away items are worth more."""
+        p = GDLDPolicy()
+        near = copy(ac=5, reg_dst=100.0, size=1000)
+        far = copy(ac=5, reg_dst=900.0, size=1000)
+        assert p.base_utility(far) > p.base_utility(near)
+
+    def test_smaller_items_preferred_at_equal_popularity(self):
+        p = GDLDPolicy()
+        small = copy(ac=5, reg_dst=100, size=512)
+        large = copy(ac=5, reg_dst=100, size=8192)
+        assert p.base_utility(small) > p.base_utility(large)
+
+    def test_popular_large_item_can_beat_small_cold_item(self):
+        """GD-LD fixes GD-Size's blind spot (paper §6.2.1)."""
+        p = GDLDPolicy()
+        large_popular = copy(ac=40, reg_dst=400, size=10000)
+        small_cold = copy(ac=1, reg_dst=400, size=512)
+        assert p.base_utility(large_popular) > p.base_utility(small_cold)
+
+    def test_prime_adds_inflation_floor(self):
+        p = GDLDPolicy()
+        e = copy(ac=2, reg_dst=50, size=1000)
+        p.prime(e, floor=7.5, now=0.0)
+        assert e.priority == pytest.approx(7.5 + p.base_utility(e))
+
+    def test_on_hit_reprimes_with_updated_count(self):
+        p = GDLDPolicy()
+        e = copy(ac=2, reg_dst=50, size=1000)
+        p.prime(e, floor=0.0, now=0.0)
+        before = e.priority
+        e.access_count = 10
+        p.on_hit(e, floor=0.0, now=1.0)
+        assert e.priority > before
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            GDLDPolicy(wr=-1.0)
+
+    def test_uses_inflation(self):
+        assert GDLDPolicy().uses_inflation
+
+
+class TestGDSize:
+    def test_utility_is_inverse_size(self):
+        p = GDSizePolicy(scale=1000.0)
+        assert p.base_utility(copy(size=500.0)) == pytest.approx(2.0)
+
+    def test_ignores_popularity_and_distance(self):
+        """The baseline's defect the paper exploits."""
+        p = GDSizePolicy()
+        a = copy(ac=1, reg_dst=0, size=1000)
+        b = copy(ac=99, reg_dst=900, size=1000)
+        assert p.base_utility(a) == p.base_utility(b)
+
+    def test_small_beats_large_always(self):
+        p = GDSizePolicy()
+        small_cold = copy(ac=0, size=100)
+        large_hot = copy(ac=100, size=10000)
+        assert p.base_utility(small_cold) > p.base_utility(large_hot)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            GDSizePolicy(scale=0)
+
+
+class TestLRU:
+    def test_priority_is_recency(self):
+        p = LRUPolicy()
+        e = copy()
+        p.prime(e, floor=999.0, now=5.0)  # floor ignored
+        assert e.priority == 5.0
+        p.on_hit(e, floor=999.0, now=9.0)
+        assert e.priority == 9.0
+        assert e.last_access == 9.0
+
+    def test_does_not_use_inflation(self):
+        assert not LRUPolicy().uses_inflation

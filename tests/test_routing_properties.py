@@ -1,0 +1,100 @@
+"""Property-style tests of routing guarantees on random topologies.
+
+GPSR's contract: on a *connected* unit-disk graph, greedy + perimeter
+forwarding delivers to the destination.  Flooding's contract: a flood
+reaches exactly the origin's connected component.  We generate random
+node placements, compute ground-truth connectivity with a BFS over the
+same unit-disk graph, and check both contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing import NetworkStack
+from tests.conftest import make_static_network
+
+RANGE = 250.0
+
+
+def unit_disk_components(positions, radius=RANGE):
+    """Connected components of the unit-disk graph (BFS ground truth)."""
+    n = positions.shape[0]
+    d = np.hypot(
+        positions[:, 0][:, None] - positions[:, 0][None, :],
+        positions[:, 1][:, None] - positions[:, 1][None, :],
+    )
+    adjacency = (d <= radius) & ~np.eye(n, dtype=bool)
+    label = -np.ones(n, dtype=int)
+    current = 0
+    for start in range(n):
+        if label[start] != -1:
+            continue
+        stack = [start]
+        label[start] = current
+        while stack:
+            u = stack.pop()
+            for v in np.flatnonzero(adjacency[u]):
+                if label[v] == -1:
+                    label[v] = current
+                    stack.append(int(v))
+        current += 1
+    return label
+
+
+def random_positions(rng, n, side=900.0):
+    return rng.uniform(0, side, (n, 2))
+
+
+class TestGpsrDeliveryProperty:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_delivers_within_connected_component(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 40))
+        positions = random_positions(rng, n)
+        labels = unit_disk_components(positions)
+        src, dst = rng.choice(n, size=2, replace=False)
+        src, dst = int(src), int(dst)
+
+        net = make_static_network(positions, width=1000.0, height=1000.0)
+        stack = NetworkStack(net)
+        delivered = []
+        dropped = []
+        stack.set_app_handler(lambda node, inner, pkt: delivered.append(node))
+        stack.set_drop_handler(lambda node, pkt: dropped.append(node))
+        stack.geo_send(
+            src,
+            "probe",
+            64,
+            dest_point=tuple(positions[dst]),
+            dest_node=dst,
+        )
+        net.sim.run()
+
+        if labels[src] == labels[dst]:
+            assert delivered == [dst], (
+                f"seed={seed}: connected pair {src}->{dst} not delivered "
+                f"(dropped at {dropped})"
+            )
+        else:
+            # Disconnected: must terminate with a drop, never deliver.
+            assert delivered == []
+            assert len(dropped) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flood_covers_exactly_the_component(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(8, 40))
+        positions = random_positions(rng, n)
+        labels = unit_disk_components(positions)
+        origin = int(rng.integers(0, n))
+
+        net = make_static_network(positions, width=1000.0, height=1000.0)
+        stack = NetworkStack(net)
+        reached = set()
+        stack.set_app_handler(lambda node, inner, pkt: reached.add(node))
+        stack.flood_send(origin, "probe", 64)
+        net.sim.run()
+
+        component = set(np.flatnonzero(labels == labels[origin]).tolist())
+        component.discard(origin)
+        assert reached == component

@@ -1,0 +1,300 @@
+"""Unit tests for the discrete-event kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        seen = []
+        sim.schedule(2.0, seen.append, "b")
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(3.0, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5, 4.0]
+
+    def test_same_time_events_run_in_insertion_order(self, sim):
+        seen = []
+        for tag in range(5):
+            sim.schedule(1.0, seen.append, tag)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_same_time_ties(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "low", priority=5)
+        sim.schedule(1.0, seen.append, "high", priority=-5)
+        sim.run()
+        assert seen == ["high", "low"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self, sim):
+        seen = []
+        handle = sim.schedule(1.0, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        seen = []
+
+        def first():
+            sim.schedule(1.0, seen.append, "second")
+            seen.append("first")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(10.0, seen.append, "late")
+        sim.run(until=5.0)
+        assert seen == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_sets_clock_even_with_empty_queue(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_run_max_events_budget(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(float(i + 1), seen.append, i)
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, nested)
+        sim.run()
+
+    def test_peek_skips_cancelled(self, sim):
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.peek() == 2.0
+
+    def test_pending_events_counts_live_only(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        h.cancel()
+        assert sim.pending_events == 1
+
+    def test_events_executed_counter(self, sim):
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+
+class TestProcesses:
+    def test_timeout_resumes_at_right_time(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Timeout(3.0)
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 3.0]
+
+    def test_timeout_value_passed_back(self, sim):
+        got = []
+
+        def proc():
+            value = yield Timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_process_completion_result(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert not p.alive
+        assert p.result == 42
+
+    def test_waiting_on_process_returns_its_result(self, sim):
+        results = []
+
+        def child():
+            yield Timeout(2.0)
+            return "child-result"
+
+        def parent():
+            value = yield sim.spawn(child())
+            results.append((sim.now, value))
+
+        sim.spawn(parent())
+        sim.run()
+        assert results == [(2.0, "child-result")]
+
+    def test_signal_wakes_all_waiters(self, sim):
+        sig = sim.signal("go")
+        woken = []
+
+        def waiter(tag):
+            value = yield sig
+            woken.append((tag, value, sim.now))
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.schedule(5.0, sig.trigger, "hello")
+        sim.run()
+        assert sorted(woken) == [("a", "hello", 5.0), ("b", "hello", 5.0)]
+
+    def test_signal_trigger_twice_rejected(self, sim):
+        sig = sim.signal()
+        sig.trigger()
+        with pytest.raises(SimulationError):
+            sig.trigger()
+
+    def test_yield_on_triggered_signal_resumes_immediately(self, sim):
+        sig = sim.signal()
+        sig.trigger("early")
+        got = []
+
+        def proc():
+            value = yield sig
+            got.append((value, sim.now))
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == [("early", 0.0)]
+
+    def test_interrupt_is_thrown_into_process(self, sim):
+        trace = []
+
+        def proc():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as exc:
+                trace.append(("interrupted", exc.cause, sim.now))
+
+        p = sim.spawn(proc())
+        sim.schedule(2.0, p.interrupt, "reason")
+        sim.run()
+        assert trace == [("interrupted", "reason", 2.0)]
+
+    def test_unhandled_interrupt_terminates_process(self, sim):
+        def proc():
+            yield Timeout(100.0)
+
+        p = sim.spawn(proc())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert not p.alive
+
+    def test_kill_stops_process_and_cancels_wait(self, sim):
+        trace = []
+
+        def proc():
+            yield Timeout(10.0)
+            trace.append("should-not-happen")
+
+        p = sim.spawn(proc())
+        sim.schedule(1.0, p.kill)
+        sim.run()
+        assert trace == []
+        assert not p.alive
+
+    def test_yielding_non_waitable_raises(self, sim):
+        def proc():
+            yield "not-a-waitable"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_allof_waits_for_every_component(self, sim):
+        got = []
+
+        def proc():
+            values = yield AllOf([Timeout(1.0, "a"), Timeout(5.0, "b"), Timeout(3.0, "c")])
+            got.append((sim.now, values))
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == [(5.0, ["a", "b", "c"])]
+
+    def test_anyof_returns_first_completion(self, sim):
+        got = []
+
+        def proc():
+            index, value = yield AnyOf([Timeout(5.0, "slow"), Timeout(1.0, "fast")])
+            got.append((sim.now, index, value))
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == [(1.0, 1, "fast")]
+
+    def test_empty_allof_rejected(self):
+        with pytest.raises(SimulationError):
+            AllOf([])
+
+    def test_empty_anyof_rejected(self):
+        with pytest.raises(SimulationError):
+            AnyOf([])
+
+    def test_chained_processes_deterministic(self, sim):
+        trace = []
+
+        def worker(tag, delay):
+            yield Timeout(delay)
+            trace.append(tag)
+
+        for tag, delay in [("x", 2.0), ("y", 1.0), ("z", 2.0)]:
+            sim.spawn(worker(tag, delay))
+        sim.run()
+        assert trace == ["y", "x", "z"]

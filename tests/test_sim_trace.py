@@ -1,0 +1,132 @@
+"""Unit tests for statistics collection (repro.sim.trace)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Counter, StatRegistry, TimeSeries, WelfordAccumulator
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+
+class TestWelford:
+    def test_mean_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(5.0, 2.0, 1000)
+        acc = WelfordAccumulator()
+        for x in xs:
+            acc.add(float(x))
+        assert acc.count == 1000
+        assert acc.mean == pytest.approx(float(xs.mean()), rel=1e-12)
+        assert acc.variance == pytest.approx(float(xs.var(ddof=1)), rel=1e-9)
+        assert acc.std == pytest.approx(float(xs.std(ddof=1)), rel=1e-9)
+        assert acc.min == pytest.approx(float(xs.min()))
+        assert acc.max == pytest.approx(float(xs.max()))
+        assert acc.total == pytest.approx(float(xs.sum()), rel=1e-12)
+
+    def test_empty_statistics_are_nan(self):
+        acc = WelfordAccumulator()
+        assert math.isnan(acc.mean)
+        assert math.isnan(acc.variance)
+        assert math.isnan(acc.std)
+
+    def test_single_sample_variance_nan(self):
+        acc = WelfordAccumulator()
+        acc.add(3.0)
+        assert acc.mean == 3.0
+        assert math.isnan(acc.variance)
+
+    def test_merge_equals_sequential(self):
+        rng = np.random.default_rng(1)
+        xs = rng.random(500)
+        a, b, whole = WelfordAccumulator(), WelfordAccumulator(), WelfordAccumulator()
+        for x in xs[:200]:
+            a.add(float(x))
+            whole.add(float(x))
+        for x in xs[200:]:
+            b.add(float(x))
+            whole.add(float(x))
+        merged = a.merge(b)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(whole.variance, rel=1e-9)
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+
+    def test_merge_with_empty(self):
+        a = WelfordAccumulator()
+        b = WelfordAccumulator()
+        b.add(2.0)
+        merged = a.merge(b)
+        assert merged.count == 1
+        assert merged.mean == 2.0
+
+
+class TestTimeSeries:
+    def test_records_in_order(self):
+        ts = TimeSeries("s")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts) == 2
+        assert ts.last() == (1.0, 2.0)
+
+    def test_rejects_out_of_order(self):
+        ts = TimeSeries("s")
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_empty_last_is_none(self):
+        assert TimeSeries("s").last() is None
+
+
+class TestStatRegistry:
+    def test_counter_and_accumulator_lookup(self):
+        reg = StatRegistry()
+        reg.count("a", 2)
+        reg.count("a")
+        reg.observe("lat", 1.0)
+        reg.observe("lat", 3.0)
+        assert reg.value("a") == 3
+        assert reg.mean("lat") == 2.0
+
+    def test_missing_counter_is_zero(self):
+        assert StatRegistry().value("nope") == 0.0
+
+    def test_missing_accumulator_is_nan(self):
+        assert math.isnan(StatRegistry().mean("nope"))
+
+    def test_snapshot_contains_everything(self):
+        reg = StatRegistry()
+        reg.count("msgs", 7)
+        reg.observe("lat", 0.5)
+        snap = reg.snapshot()
+        assert snap["count.msgs"] == 7
+        assert snap["mean.lat"] == 0.5
+        assert snap["n.lat"] == 1
+
+    def test_reset_zeroes_counters_and_accumulators(self):
+        reg = StatRegistry()
+        reg.count("msgs", 7)
+        reg.observe("lat", 0.5)
+        reg.reset()
+        assert reg.value("msgs") == 0
+        assert math.isnan(reg.mean("lat"))
+
+    def test_series_registry(self):
+        reg = StatRegistry()
+        s = reg.series("ts")
+        s.record(0.0, 1.0)
+        assert reg.series("ts") is s

@@ -1,0 +1,86 @@
+"""Unit tests for the routing dispatch stack (repro.routing.stack)."""
+
+import pytest
+
+from repro.routing import NetworkStack
+from tests.conftest import make_static_network
+
+LINE5 = [[i * 200.0, 0.0] for i in range(5)]
+
+
+class TestDirectSend:
+    def test_one_hop_payload(self):
+        net = make_static_network(LINE5, width=3000.0, height=3000.0)
+        stack = NetworkStack(net)
+        got = []
+        stack.set_app_handler(lambda node, inner, pkt: got.append((node, inner)))
+        assert stack.direct_send(0, 1, {"k": 1}, 64)
+        net.sim.run()
+        assert got == [(1, {"k": 1})]
+
+    def test_out_of_range_fails(self):
+        net = make_static_network(LINE5, width=3000.0, height=3000.0)
+        stack = NetworkStack(net)
+        assert not stack.direct_send(0, 4, "x", 64)
+
+
+class TestIntercept:
+    def test_interceptor_absorbs_midway(self):
+        net = make_static_network(LINE5, width=3000.0, height=3000.0)
+        stack = NetworkStack(net)
+        got = []
+        stack.set_app_handler(lambda node, inner, pkt: got.append((node, inner)))
+        stack.set_intercept_handler(lambda node, inner, pkt: node == 2)
+        stack.geo_send(0, "data", 64, dest_point=(800.0, 0.0), dest_node=4)
+        net.sim.run()
+        assert got == [(2, "data")]
+        assert net.stats.value("stack.intercepted") == 1
+
+    def test_interceptor_declining_lets_packet_through(self):
+        net = make_static_network(LINE5, width=3000.0, height=3000.0)
+        stack = NetworkStack(net)
+        got = []
+        stack.set_app_handler(lambda node, inner, pkt: got.append((node, inner)))
+        stack.set_intercept_handler(lambda node, inner, pkt: False)
+        stack.geo_send(0, "data", 64, dest_point=(800.0, 0.0), dest_node=4)
+        net.sim.run()
+        assert got == [(4, "data")]
+
+    def test_interceptor_not_consulted_at_destination(self):
+        """A packet that has arrived is delivered, not intercepted."""
+        net = make_static_network(LINE5, width=3000.0, height=3000.0)
+        stack = NetworkStack(net)
+        intercept_calls = []
+        stack.set_app_handler(lambda node, inner, pkt: None)
+        stack.set_intercept_handler(
+            lambda node, inner, pkt: intercept_calls.append(node) or False
+        )
+        stack.geo_send(0, "data", 64, dest_point=(800.0, 0.0), dest_node=4)
+        net.sim.run()
+        assert 4 not in intercept_calls
+
+
+class TestDropHandler:
+    def test_drop_handler_invoked_on_unreachable(self):
+        positions = [[0.0, 0.0], [200.0, 0.0], [2000.0, 0.0]]
+        net = make_static_network(positions, width=3000.0, height=3000.0)
+        stack = NetworkStack(net)
+        drops = []
+        stack.set_drop_handler(lambda node, pkt: drops.append((node, pkt)))
+        stack.geo_send(0, "data", 64, dest_point=(2000.0, 0.0), dest_node=2)
+        net.sim.run()
+        assert len(drops) == 1
+        # The dropped packet still carries its envelope and inner payload.
+        assert drops[0][1].payload.inner == "data"
+
+
+class TestCategories:
+    def test_geo_and_flood_category_accounting(self):
+        net = make_static_network(LINE5, width=3000.0, height=3000.0)
+        stack = NetworkStack(net)
+        stack.set_app_handler(lambda *a: None)
+        stack.geo_send(0, "q", 64, dest_point=(400.0, 0.0), dest_node=2, category="request")
+        stack.flood_send(0, "inv", 64, category="consistency")
+        net.sim.run()
+        assert net.stats.value("net.sent.request") == 2  # two unicast hops
+        assert net.stats.value("net.sent.consistency") == 5  # 1 + 4 rebroadcasts

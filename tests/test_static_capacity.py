@@ -1,0 +1,102 @@
+"""Tests for the bounded static store (§3.1's static/dynamic split)."""
+
+import math
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.network import PReCinCtNetwork
+from tests.conftest import tiny_config
+
+
+def make_net(**overrides):
+    defaults = dict(
+        n_nodes=40,
+        width=800.0,
+        height=800.0,
+        max_speed=None,
+        duration=300.0,
+        warmup=50.0,
+        n_items=100,
+        seed=6,
+    )
+    defaults.update(overrides)
+    return PReCinCtNetwork(SimulationConfig(**defaults))
+
+
+class TestStaticAccounting:
+    def test_unbounded_by_default(self):
+        net = make_net()
+        assert net.peers[0].static_capacity() == math.inf
+
+    def test_static_bytes_tracks_custody(self):
+        net = make_net()
+        peer = next(p for p in net.peers if p.static_keys)
+        expected = sum(net.db.size_of(k) for k in peer.static_keys)
+        assert peer.static_bytes() == pytest.approx(expected)
+
+    def test_accept_respects_budget(self):
+        net = make_net(static_capacity_fraction=0.02)
+        peer = net.peers[0]
+        peer.static_keys.clear()
+        budget = peer.static_capacity()
+        overflow = peer.accept_static_keys(range(len(net.db)))
+        assert peer.static_bytes() <= budget + 1e-6
+        assert overflow  # 2 % cannot hold the whole database
+        assert set(overflow).isdisjoint(peer.static_keys)
+
+    def test_accept_is_idempotent_for_held_keys(self):
+        net = make_net()
+        peer = next(p for p in net.peers if p.static_keys)
+        held = list(peer.static_keys)
+        assert peer.accept_static_keys(held) == []
+
+
+class TestBoundedPlacement:
+    def test_initial_custody_respects_budget(self):
+        net = make_net(static_capacity_fraction=0.03)
+        for peer in net.peers:
+            assert peer.static_bytes() <= peer.static_capacity() + 1e-6
+
+    def test_tight_budget_spreads_custody(self):
+        """With a small budget, custody spreads over more members than
+        the unbounded closest-peer assignment."""
+        loose = make_net()
+        tight = make_net(static_capacity_fraction=0.03)
+        holders_loose = sum(1 for p in loose.peers if p.static_keys)
+        holders_tight = sum(1 for p in tight.peers if p.static_keys)
+        assert holders_tight >= holders_loose
+
+    def test_impossible_budget_orphans_keys(self):
+        """A budget below every item size cannot place anything."""
+        net = make_net(
+            static_capacity_fraction=0.0001,  # ~56 B vs >=1 KiB items
+        )
+        assert net.stats.value("peer.keys_unplaced") > 0
+        assert all(not p.static_keys for p in net.peers)
+
+
+class TestBoundedRunsEndToEnd:
+    def test_simulation_serves_with_bounded_store(self):
+        net = make_net(static_capacity_fraction=0.05)
+        report = net.run()
+        assert report.delivery_ratio > 0.8
+        for peer in net.peers:
+            assert peer.static_bytes() <= peer.static_capacity() + 1e-6
+
+    def test_handoff_overflow_spills(self):
+        net = PReCinCtNetwork(
+            tiny_config(
+                static_capacity_fraction=0.04,
+                max_speed=8.0,
+                duration=250.0,
+                warmup=50.0,
+                seed=45,
+            )
+        )
+        report = net.run()
+        # Mobility forces handoffs into bounded stores; any overflow is
+        # spilled onward (or orphaned), never silently dropped.
+        for peer in net.peers:
+            assert peer.static_bytes() <= peer.static_capacity() + 1e-6
+        assert report.requests_served > 0

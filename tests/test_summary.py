@@ -1,0 +1,83 @@
+"""Tests for run summaries (repro.analysis.summary) and example imports."""
+
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+from repro.analysis.summary import describe_run
+from repro.core.network import PReCinCtNetwork
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def finished_net():
+    net = PReCinCtNetwork(
+        tiny_config(consistency="push-adaptive-pull", t_update=60.0, seed=14)
+    )
+    report = net.run()
+    return net, report
+
+
+class TestDescribeRun:
+    def test_contains_all_sections(self, finished_net):
+        net, report = finished_net
+        text = describe_run(net, report)
+        for section in ("latency", "serving", "traffic", "energy", "caches"):
+            assert section in text
+
+    def test_headline_numbers_present(self, finished_net):
+        net, report = finished_net
+        text = describe_run(net, report)
+        assert f"{report.requests_served}/{report.requests_issued}" in text
+        assert "byte hit ratio" in text
+        assert "fairness (Jain)" in text
+
+    def test_topology_optional(self, finished_net):
+        net, report = finished_net
+        plain = describe_run(net, report, topology=False)
+        mapped = describe_run(net, report, topology=True)
+        # The ASCII map's region borders only appear when requested.
+        assert "+---" not in plain
+        assert "+---" in mapped
+
+    def test_connectivity_line_present(self, finished_net):
+        net, report = finished_net
+        assert "component(s)" in describe_run(net, report)
+
+    def test_report_defaulted(self, finished_net):
+        net, _ = finished_net
+        assert "latency" in describe_run(net)
+
+
+class TestExamplesImportable:
+    """Every example must at least import cleanly (bitrot guard).
+
+    ``main()`` is not executed — examples run multi-minute simulations —
+    but import-time errors (renamed APIs, bad signatures) are caught.
+    """
+
+    EXAMPLES = sorted(
+        p.stem
+        for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+    )
+
+    def test_examples_exist(self):
+        assert len(self.EXAMPLES) >= 6
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(
+            p.stem
+            for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+        ),
+    )
+    def test_example_imports(self, name):
+        examples_dir = str(pathlib.Path(__file__).parent.parent / "examples")
+        sys.path.insert(0, examples_dir)
+        try:
+            module = importlib.import_module(name)
+            assert hasattr(module, "main")
+        finally:
+            sys.path.remove(examples_dir)

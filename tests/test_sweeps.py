@@ -1,0 +1,60 @@
+"""Tests for parallel parameter sweeps (repro.experiments.sweeps)."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.sweeps import run_sweep, sweep_grid
+
+
+BASE = SimulationConfig(
+    n_nodes=20,
+    width=700.0,
+    height=700.0,
+    duration=100.0,
+    warmup=20.0,
+    n_items=80,
+)
+
+
+class TestSweepGrid:
+    def test_cartesian_product(self):
+        cells = sweep_grid(BASE, cache_fraction=[0.01, 0.02], seed=[1, 2, 3])
+        assert len(cells) == 6
+        fractions = {c.cache_fraction for c in cells}
+        seeds = {c.seed for c in cells}
+        assert fractions == {0.01, 0.02}
+        assert seeds == {1, 2, 3}
+
+    def test_no_axes_returns_base(self):
+        assert sweep_grid(BASE) == [BASE]
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(TypeError):
+            sweep_grid(BASE, not_a_field=[1])
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            sweep_grid(BASE, cache_fraction=[2.0])
+
+
+class TestRunSweep:
+    def test_serial_execution(self):
+        cells = sweep_grid(BASE, seed=[1, 2])
+        results = run_sweep(cells, processes=1)
+        assert len(results) == 2
+        for cfg, report in results:
+            assert report.requests_served > 0
+
+    def test_results_in_submission_order(self):
+        cells = sweep_grid(BASE, seed=[5, 6, 7])
+        results = run_sweep(cells, processes=1)
+        assert [cfg.seed for cfg, _ in results] == [5, 6, 7]
+
+    def test_parallel_matches_serial(self):
+        cells = sweep_grid(BASE, seed=[1, 2])
+        serial = run_sweep(cells, processes=1)
+        parallel = run_sweep(cells, processes=2)
+        for (_, a), (_, b) in zip(serial, parallel):
+            assert a.requests_issued == b.requests_issued
+            assert a.average_latency == pytest.approx(b.average_latency)
+            assert a.energy_total_uj == pytest.approx(b.energy_total_uj)

@@ -1,0 +1,97 @@
+"""Unit tests for the closed-form energy model (repro.analysis.theoretical)."""
+
+import math
+
+import pytest
+
+from repro.analysis.theoretical import TheoreticalModel
+from repro.energy import EnergyParams
+
+
+class TestBuildingBlocks:
+    def test_node_density(self):
+        m = TheoreticalModel(area_side=600.0)
+        assert m.node_density(36) == pytest.approx(36 / 360_000)
+
+    def test_zeta_formula(self):
+        """zeta = delta * pi * r^2 (eq. 7), uncapped regime."""
+        m = TheoreticalModel(area_side=6000.0, range_m=250.0)
+        n = 1000
+        expected = n / 6000.0**2 * math.pi * 250.0**2
+        assert m.nodes_in_radio_range(n) == pytest.approx(expected)
+
+    def test_zeta_capped_at_population(self):
+        """Small dense network: a disk cannot out-receive the population."""
+        m = TheoreticalModel(area_side=100.0, range_m=250.0)
+        assert m.nodes_in_radio_range(10) == 9
+
+    def test_broadcast_total_composition(self):
+        """eq. 8: E_total_bd = E_bd_sd + zeta * E_bd_rv."""
+        p = EnergyParams()
+        m = TheoreticalModel(area_side=600.0, range_m=250.0, params=p)
+        n, size = 40, 64.0
+        zeta = m.nodes_in_radio_range(n)
+        expected = p.bcast_send(size) + zeta * p.bcast_recv(size)
+        assert m.broadcast_total(n, size) == pytest.approx(expected)
+
+    def test_p2p_hop(self):
+        p = EnergyParams()
+        m = TheoreticalModel(params=p)
+        assert m.p2p_hop(100) == pytest.approx(p.p2p_send(100) + p.p2p_recv(100))
+
+    def test_intermediate_nodes_scale_with_area(self):
+        small = TheoreticalModel(area_side=300.0, range_m=250.0)
+        large = TheoreticalModel(area_side=1200.0, range_m=250.0)
+        assert large.intermediate_nodes() > small.intermediate_nodes()
+        assert small.intermediate_nodes() >= 0.0
+
+
+class TestPerRequestEnergies:
+    def test_flooding_grows_linearly_with_nodes(self):
+        m = TheoreticalModel(area_side=600.0)
+        e20 = m.flooding_energy(20)
+        e40 = m.flooding_energy(40)
+        e80 = m.flooding_energy(80)
+        assert e20 < e40 < e80
+
+    def test_precinct_cheaper_than_flooding(self):
+        """The paper's headline comparison at every node count."""
+        m = TheoreticalModel(area_side=600.0)
+        for n in (20, 40, 60, 80):
+            assert m.precinct_energy(n, 9) < m.flooding_energy(n)
+
+    def test_precinct_decreases_with_region_count(self):
+        """Fig. 9(b): more regions -> smaller in-region floods."""
+        m = TheoreticalModel(area_side=600.0)
+        energies = [m.precinct_energy(20, r) for r in (1, 4, 9, 16, 25)]
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+
+    def test_flooding_matches_eq11_by_hand(self):
+        p = EnergyParams()
+        m = TheoreticalModel(
+            area_side=600.0, range_m=250.0, request_bytes=64.0,
+            response_bytes=5696.0, params=p,
+        )
+        n = 40
+        expected = n * m.broadcast_total(n, 64.0) + m.intermediate_nodes() * (
+            p.p2p_send(5696.0) + p.p2p_recv(5696.0)
+        )
+        assert m.flooding_energy(n) == pytest.approx(expected)
+
+    def test_mj_conversion(self):
+        m = TheoreticalModel()
+        assert m.flooding_energy_mj(40) == pytest.approx(m.flooding_energy(40) / 1000)
+        assert m.precinct_energy_mj(40, 9) == pytest.approx(
+            m.precinct_energy(40, 9) / 1000
+        )
+
+    def test_invalid_region_count(self):
+        with pytest.raises(ValueError):
+            TheoreticalModel().precinct_energy(40, 0)
+
+    def test_single_region_precinct_is_flood_like(self):
+        """With one region, PReCinCt floods among all N nodes plus the
+        p2p legs — at least the flooding broadcast cost."""
+        m = TheoreticalModel(area_side=600.0)
+        n = 30
+        assert m.precinct_energy(n, 1) >= n * m.broadcast_total(n, m.request_bytes)

@@ -1,0 +1,45 @@
+"""Tests for the ASCII topology renderer."""
+
+import pytest
+
+from repro.analysis.topology_map import render_topology
+from repro.core.network import PReCinCtNetwork
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def net():
+    return PReCinCtNetwork(tiny_config(max_speed=None, seed=8))
+
+
+class TestRenderTopology:
+    def test_renders_all_live_nodes(self, net):
+        out = render_topology(net)
+        # Nodes can share a cell; at least a handful of distinct marks.
+        assert out.count("o") >= 10
+
+    def test_dead_nodes_marked(self, net):
+        net.network.fail_node(0)
+        try:
+            out = render_topology(net)
+            assert "X" in out
+        finally:
+            net.network.revive_node(0)
+
+    def test_region_borders_drawn(self, net):
+        out = render_topology(net)
+        assert "+" in out and "-" in out and "|" in out
+
+    def test_status_line(self, net):
+        out = render_topology(net)
+        assert "alive" in out and "regions" in out
+
+    def test_custom_marks(self, net):
+        out = render_topology(net, marks={3: "R"})
+        assert "R" in out
+
+    def test_dimensions(self, net):
+        out = render_topology(net, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 11  # 10 rows + status line
+        assert all(len(l) == 40 for l in lines[:10])

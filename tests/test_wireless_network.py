@@ -1,0 +1,142 @@
+"""Unit tests for the one-hop radio (repro.net.network)."""
+
+import numpy as np
+import pytest
+
+from repro.net import RadioParams
+from repro.net.packet import Packet
+from tests.conftest import make_static_network
+
+# Three nodes in a line; 0-1 and 1-2 in range, 0-2 out of range.
+LINE = [[0.0, 0.0], [200.0, 0.0], [400.0, 0.0]]
+
+
+def collect(network):
+    received = []
+    network.set_receive_handler(lambda node, pkt: received.append((node, pkt)))
+    return received
+
+
+class TestBroadcast:
+    def test_reaches_all_in_range(self):
+        net = make_static_network(LINE)
+        received = collect(net)
+        pkt = Packet(payload="hello", size_bytes=100, src=0)
+        receivers = net.broadcast(0, pkt)
+        assert set(receivers.tolist()) == {1}
+        net.sim.run()
+        assert [(n, p.payload) for n, p in received] == [(1, "hello")]
+
+    def test_delivery_delayed_by_mac(self):
+        net = make_static_network(LINE)
+        times = []
+        net.set_receive_handler(lambda node, pkt: times.append(net.sim.now))
+        net.broadcast(1, Packet(payload="x", size_bytes=1000, src=1))
+        net.sim.run()
+        expected_min = net.radio.tx_delay(1000)
+        assert len(times) == 2
+        for t in times:
+            assert expected_min <= t <= expected_min + net.radio.max_jitter_s
+
+    def test_energy_charged_to_sender_and_receivers(self):
+        net = make_static_network(LINE)
+        net.broadcast(1, Packet(payload="x", size_bytes=100, src=1))
+        p = net.energy.params
+        assert net.energy.node_total(1) == pytest.approx(p.bcast_send(100))
+        assert net.energy.node_total(0) == pytest.approx(p.bcast_recv(100))
+        assert net.energy.node_total(2) == pytest.approx(p.bcast_recv(100))
+
+    def test_dead_sender_sends_nothing(self):
+        net = make_static_network(LINE)
+        received = collect(net)
+        net.fail_node(0)
+        receivers = net.broadcast(0, Packet(payload="x", size_bytes=10, src=0))
+        net.sim.run()
+        assert receivers.size == 0
+        assert received == []
+
+    def test_dead_receiver_not_delivered(self):
+        net = make_static_network(LINE)
+        received = collect(net)
+        net.fail_node(1)
+        net.broadcast(0, Packet(payload="x", size_bytes=10, src=0))
+        net.sim.run()
+        assert received == []
+
+
+class TestUnicast:
+    def test_delivers_to_neighbor(self):
+        net = make_static_network(LINE)
+        received = collect(net)
+        ok = net.unicast(0, 1, Packet(payload="m", size_bytes=50, src=0, dst=1))
+        assert ok
+        net.sim.run()
+        assert [(n, p.payload) for n, p in received] == [(1, "m")]
+
+    def test_out_of_range_dropped(self):
+        net = make_static_network(LINE)
+        received = collect(net)
+        ok = net.unicast(0, 2, Packet(payload="m", size_bytes=50, src=0, dst=2))
+        assert not ok
+        net.sim.run()
+        assert received == []
+        assert net.stats.value("net.unicast_dropped") == 1
+
+    def test_energy_includes_overhearers(self):
+        net = make_static_network(LINE)
+        net.unicast(1, 0, Packet(payload="m", size_bytes=100, src=1, dst=0))
+        p = net.energy.params
+        assert net.energy.node_total(1) == pytest.approx(p.p2p_send(100))
+        assert net.energy.node_total(0) == pytest.approx(p.p2p_recv(100))
+        # Node 2 overhears node 1's transmission and discards.
+        assert net.energy.node_total(2) == pytest.approx(p.discard(100))
+
+    def test_dead_destination_dropped_but_send_charged(self):
+        net = make_static_network(LINE)
+        net.fail_node(1)
+        ok = net.unicast(0, 1, Packet(payload="m", size_bytes=50, src=0, dst=1))
+        assert not ok
+        assert net.energy.node_total(0) > 0  # sender still spent energy
+
+    def test_category_counted(self):
+        net = make_static_network(LINE)
+        net.unicast(0, 1, Packet(payload="m", size_bytes=50, src=0, dst=1, category="response"))
+        net.broadcast(0, Packet(payload="m", size_bytes=50, src=0, category="request"))
+        assert net.stats.value("net.sent.response") == 1
+        assert net.stats.value("net.sent.request") == 1
+
+
+class TestLiveness:
+    def test_fail_and_revive(self):
+        net = make_static_network(LINE)
+        assert net.is_alive(1)
+        net.fail_node(1)
+        assert not net.is_alive(1)
+        assert set(net.neighbors_of(0).tolist()) == set()
+        net.revive_node(1)
+        assert set(net.neighbors_of(0).tolist()) == {1}
+
+    def test_positions_and_neighbors(self):
+        net = make_static_network(LINE)
+        assert net.position_of(2) == (400.0, 0.0)
+        assert set(net.neighbors_of(1).tolist()) == {0, 2}
+        assert set(net.nodes_near((0.0, 0.0)).tolist()) == {0, 1}
+
+
+class TestRadioParams:
+    def test_tx_delay(self):
+        r = RadioParams(bandwidth_bps=1e6, mac_overhead_s=0.001)
+        assert r.tx_delay(1000) == pytest.approx(8 * 1000 / 1e6 + 0.001)
+
+    def test_packet_size_validation(self):
+        with pytest.raises(ValueError):
+            Packet(payload="x", size_bytes=0, src=0)
+
+    def test_next_hop_copy_preserves_identity(self):
+        pkt = Packet(payload="x", size_bytes=10, src=0, category="request")
+        hop = pkt.next_hop_copy(src=1, dst=2)
+        assert hop.packet_id == pkt.packet_id
+        assert hop.hops == 1
+        assert hop.src == 1 and hop.dst == 2
+        assert hop.category == "request"
+        assert hop.created_at == pkt.created_at
