@@ -42,6 +42,7 @@ from repro.core import (
     RegionTable,
 )
 from repro.energy import EnergyLedger, EnergyParams
+from repro.faults import FaultPlan, FaultSpec
 from repro.sim import RngRegistry, Simulator, StatRegistry
 
 __version__ = "1.0.0"
@@ -49,6 +50,8 @@ __version__ = "1.0.0"
 __all__ = [
     "EnergyLedger",
     "EnergyParams",
+    "FaultPlan",
+    "FaultSpec",
     "GDLDPolicy",
     "GDSizePolicy",
     "GeographicHash",

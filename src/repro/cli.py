@@ -7,6 +7,8 @@ any Python::
     python -m repro fig 4          # regenerate one figure's data series
     python -m repro fig all        # regenerate everything
     python -m repro theory --nodes 20 40 60 80
+    python -m repro faults --fault 'drop:p=0.1,start=100,end=400'
+    python -m repro audit --seed 42 --scenario default
 
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it can
 do is equally available through the library API.
@@ -90,6 +92,53 @@ def build_parser() -> argparse.ArgumentParser:
     th_p.add_argument("--regions", type=int, default=9)
     th_p.add_argument("--area", type=float, default=600.0)
 
+    flt_p = sub.add_parser(
+        "faults", help="run one simulation under a declarative fault plan"
+    )
+    flt_p.add_argument("--nodes", type=int, default=40)
+    flt_p.add_argument("--regions", type=int, default=9)
+    flt_p.add_argument("--speed", type=float, default=6.0,
+                       help="max node speed m/s (0 = static)")
+    flt_p.add_argument("--cache", type=float, default=0.02)
+    flt_p.add_argument(
+        "--consistency",
+        choices=["none", "plain-push", "pull-every-time", "push-adaptive-pull"],
+        default="push-adaptive-pull",
+    )
+    flt_p.add_argument("--t-update", type=float, default=60.0,
+                       help="mean inter-update time (s); 0 disables updates")
+    flt_p.add_argument("--duration", type=float, default=600.0)
+    flt_p.add_argument("--warmup", type=float, default=100.0)
+    flt_p.add_argument("--items", type=int, default=500)
+    flt_p.add_argument("--seed", type=int, default=1)
+    flt_p.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="fault rule, e.g. 'drop:p=0.1,start=100,end=400', "
+             "'crash:at=200,nodes=3+7', 'partition:start=100,end=200,regions=0'; "
+             "repeatable",
+    )
+    flt_p.add_argument("--plan-file", default=None,
+                       help="JSON fault-plan file (merged after --fault rules)")
+    flt_p.add_argument("--check-invariants", action="store_true",
+                       help="re-check system invariants at every fault boundary")
+
+    aud_p = sub.add_parser(
+        "audit",
+        help="determinism audit: run a scenario repeatedly, compare digests",
+    )
+    from repro.faults.audit import SCENARIOS
+
+    aud_p.add_argument("--scenario", default="default",
+                       choices=sorted(SCENARIOS))
+    aud_p.add_argument("--seed", type=int, default=42)
+    aud_p.add_argument("--runs", type=int, default=2)
+    aud_p.add_argument("--golden", default=None, metavar="PATH",
+                       help="golden-digest JSON file to verify against")
+    aud_p.add_argument(
+        "--refresh-golden", action="store_true",
+        help="re-run every canonical scenario and rewrite --golden PATH",
+    )
+
     return parser
 
 
@@ -171,6 +220,90 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.plan import FaultPlan
+
+    try:
+        specs = list(FaultPlan.parse(args.fault).specs)
+        if args.plan_file is not None:
+            with open(args.plan_file, "r", encoding="utf-8") as fh:
+                specs.extend(FaultPlan.from_json(fh.read()).specs)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    plan = FaultPlan(tuple(specs))
+    cfg = SimulationConfig(
+        n_nodes=args.nodes,
+        n_regions=args.regions,
+        max_speed=args.speed if args.speed > 0 else None,
+        cache_fraction=args.cache,
+        consistency=args.consistency,
+        t_update=args.t_update if args.t_update > 0 else None,
+        duration=args.duration,
+        warmup=args.warmup,
+        n_items=args.items,
+        seed=args.seed,
+        fault_plan=plan if plan else None,
+    )
+    print(plan.describe(), file=sys.stderr)
+    print(f"running: {cfg.n_nodes} nodes, {cfg.duration:.0f}s virtual time, "
+          f"{len(plan)} fault rule(s) ...", file=sys.stderr)
+    net = PReCinCtNetwork(cfg)
+    if net.faults is not None and args.check_invariants:
+        net.faults.check_invariants = True
+    report = net.run()
+    print(report.row())
+    snapshot = net.stats.snapshot()
+    fault_keys = sorted(
+        name for name in snapshot
+        if ".faults." in name or ".net.unicast_dropped" in name
+        or ".net.broadcast_dropped" in name
+    )
+    for name in fault_keys:
+        print(f"  {name.split('count.', 1)[-1]} = {snapshot[name]:.0f}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.faults.audit import (
+        CANONICAL_SCENARIOS,
+        audit_scenario,
+        load_golden,
+        refresh_golden,
+    )
+
+    if args.refresh_golden:
+        if args.golden is None:
+            print("--refresh-golden requires --golden PATH", file=sys.stderr)
+            return 2
+        entries = refresh_golden(
+            args.golden, CANONICAL_SCENARIOS, seed=args.seed, runs=args.runs
+        )
+        for name, entry in sorted(entries.items()):
+            print(f"{name:<10} seed={entry['seed']} eventlog={entry['eventlog']}")
+        print(f"wrote {len(entries)} golden digest(s) to {args.golden}")
+        return 0
+
+    try:
+        golden = load_golden(args.golden) if args.golden is not None else None
+        result = audit_scenario(
+            args.scenario, seed=args.seed, runs=args.runs, golden=golden
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"scenario={result.scenario} seed={result.seed} runs={len(result.digests)}")
+    for index, digest in enumerate(result.digests, start=1):
+        print(f"  run {index}: eventlog={digest.eventlog}")
+        print(f"         report  ={digest.report}")
+    print(f"determinism: {'OK' if result.deterministic else 'FAILED'}")
+    if result.golden_match is not None:
+        print(f"golden:      {'OK' if result.golden_match else 'MISMATCH'}")
+    for message in result.messages:
+        print(message, file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -179,6 +312,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fig(args)
     if args.command == "theory":
         return _cmd_theory(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults.plan import FaultPlan
+
 __all__ = ["SimulationConfig"]
 
 
@@ -178,6 +180,12 @@ class SimulationConfig:
     #: (request lifecycle, custody movement, region operations).
     enable_event_log: bool = False
 
+    # -- fault injection (repro.faults) ----------------------------------------------------------
+    #: Declarative fault schedule (message drop/duplicate/delay/reorder,
+    #: node crash/recover, region partition/heal), replayed
+    #: deterministically from the run's seed.  None disables injection.
+    fault_plan: Optional[FaultPlan] = None
+
     # -- run control --------------------------------------------------------------------------
     duration: float = 2000.0
     #: Statistics (not protocol state) are reset at this time, excluding
@@ -215,6 +223,10 @@ class SimulationConfig:
         if not 0.0 <= self.churn_crash_fraction <= 1.0:
             raise ValueError(
                 f"churn_crash_fraction must be in [0, 1], got {self.churn_crash_fraction}"
+            )
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a repro.faults.FaultPlan, got {self.fault_plan!r}"
             )
 
     @property

@@ -136,6 +136,15 @@ class PReCinCtNetwork:
             self.log: Optional["EventLog"] = EventLog()
         else:
             self.log = None
+        if cfg.fault_plan:
+            from repro.faults.injectors import FaultController
+
+            self.faults: Optional["FaultController"] = FaultController(
+                self, cfg.fault_plan
+            )
+            self.faults.install()
+        else:
+            self.faults = None
         self._ran = False
 
     def trace(self, kind: str, **fields) -> None:

@@ -36,8 +36,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunReport
 from repro.config import SimulationConfig
+from repro.faults.plan import FaultPlan
 
-__all__ = ["run_sweep", "sweep_grid", "SweepResult"]
+__all__ = ["fault_sweep", "run_sweep", "sweep_grid", "SweepResult"]
 
 
 SweepResult = Tuple[SimulationConfig, RunReport]
@@ -81,3 +82,39 @@ def run_sweep(
     with ProcessPoolExecutor(max_workers=processes) as pool:
         reports = list(pool.map(_run_cell, configs))
     return list(zip(configs, reports))
+
+
+def fault_sweep(
+    base: SimulationConfig,
+    plans: Sequence[Optional[FaultPlan]],
+    processes: Optional[int] = None,
+    **axes: Sequence,
+) -> List[SweepResult]:
+    """Cross a configuration grid with fault plans and run every cell.
+
+    Sweeps cache-scheme conclusions under adversarial network
+    conditions: each plan in ``plans`` (``None`` = the unfaulted
+    control) is applied to every configuration of
+    ``sweep_grid(base, **axes)``.  Fault plans are frozen dataclasses,
+    so faulted cells pickle into the process pool like any other;
+    results come back in ``(plan-major, grid-minor)`` submission order
+    with the plan recorded on each cell's ``cfg.fault_plan``.
+
+    Example
+    -------
+    >>> from repro.config import SimulationConfig
+    >>> from repro.faults.plan import FaultPlan
+    >>> base = SimulationConfig(n_nodes=24, width=800, height=800,
+    ...                         duration=120.0, warmup=20.0, n_items=100)
+    >>> plans = [None, FaultPlan.parse(["drop:p=0.2"])]
+    >>> cells = [replace(c, fault_plan=p) for p in plans
+    ...          for c in sweep_grid(base, seed=[1, 2])]
+    >>> len(cells)
+    4
+    """
+    cells = [
+        replace(cfg, fault_plan=plan)
+        for plan in plans
+        for cfg in sweep_grid(base, **axes)
+    ]
+    return run_sweep(cells, processes=processes)

@@ -1,0 +1,39 @@
+"""Deterministic fault injection.
+
+This subpackage turns the reproduction's passive robustness claims into
+testable behaviour: a :class:`~repro.faults.plan.FaultPlan` declares
+*when* and *how* the simulated world misbehaves — probabilistic or
+deterministic message drop, duplication, delay, reordering, scheduled
+node crash/recover, region partition/heal — and the injectors replay
+that schedule **bit-for-bit reproducibly** from the run's root seed.
+
+Layout
+------
+* :mod:`repro.faults.plan` — the declarative schedule (:class:`FaultSpec`,
+  :class:`FaultPlan`), parseable from Python, JSON, and compact CLI
+  expressions such as ``drop:p=0.1,start=100,end=400``.
+* :mod:`repro.faults.injectors` — the runtime: a per-delivery message
+  filter installed into :class:`~repro.net.network.WirelessNetwork` and
+  a :class:`FaultController` that schedules node/partition events on the
+  simulator and (optionally) re-checks the system invariants at every
+  fault boundary.
+* :mod:`repro.faults.audit` — the determinism-audit harness: canonical
+  digests of the event log and run report, named audit scenarios, and
+  the golden-digest workflow used by ``python -m repro audit`` and CI.
+
+Every injector draws from its own named substream of the run's
+:class:`~repro.sim.rng.RngRegistry`, so a faulted run replays exactly
+and editing one fault rule never perturbs the draws of another.
+"""
+
+from repro.faults.injectors import FaultController, MessageFaultInjector
+from repro.faults.plan import MESSAGE_KINDS, NODE_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultController",
+    "FaultPlan",
+    "FaultSpec",
+    "MESSAGE_KINDS",
+    "MessageFaultInjector",
+    "NODE_KINDS",
+]

@@ -28,9 +28,16 @@ from repro.net.packet import Packet
 from repro.net.topology import SpatialGrid
 from repro.sim import Simulator, StatRegistry
 
-__all__ = ["RadioParams", "WirelessNetwork"]
+__all__ = ["FaultFilter", "RadioParams", "WirelessNetwork"]
 
 ReceiveHandler = Callable[[int, Packet], None]
+
+#: Per-delivery fault hook (see :mod:`repro.faults.injectors`): called as
+#: ``filter(src, dst, packet)`` for every delivery that would otherwise
+#: succeed.  Returns ``None`` to deliver normally, ``[]`` to silently
+#: drop, or a list of extra delays — one scheduled delivery per element
+#: (``[0.0, 0.01]`` = the original plus a duplicate 10 ms later).
+FaultFilter = Callable[[int, int, Packet], Optional[list]]
 
 
 @dataclass(frozen=True)
@@ -89,6 +96,7 @@ class WirelessNetwork:
         )
         self._last_sample_time = -np.inf
         self._receive_handler: Optional[ReceiveHandler] = None
+        self._fault_filter: Optional[FaultFilter] = None
         self._refresh_positions(force=True)
 
     # -- wiring ----------------------------------------------------------
@@ -96,6 +104,16 @@ class WirelessNetwork:
     def set_receive_handler(self, handler: ReceiveHandler) -> None:
         """Register the single upcall invoked on every packet delivery."""
         self._receive_handler = handler
+
+    def set_fault_filter(self, fault_filter: Optional[FaultFilter]) -> None:
+        """Install a per-delivery :data:`FaultFilter` (None uninstalls).
+
+        Injected faults are *silent*: the sender still pays energy and
+        channel time and gets a success return, so loss is discovered by
+        upper-layer timeouts — unlike dead-destination and out-of-range
+        drops, which model routing-layer knowledge and stay visible.
+        """
+        self._fault_filter = fault_filter
 
     # -- topology --------------------------------------------------------
 
@@ -198,7 +216,13 @@ class WirelessNetwork:
         self.stats.count(f"net.sent.{packet.category}")
         delay = self._hop_delay(src, size)
         for receiver in receivers:
-            self.sim.schedule(delay, self._deliver, int(receiver), packet)
+            receiver = int(receiver)
+            deliveries = self._filter_delivery(src, receiver, packet)
+            if deliveries is None:
+                self.stats.count("net.broadcast_dropped.injected")
+                continue
+            for extra in deliveries:
+                self.sim.schedule(delay + extra, self._deliver, receiver, packet)
         return receivers
 
     def unicast(self, src: int, dst: int, packet: Packet) -> bool:
@@ -207,7 +231,12 @@ class WirelessNetwork:
         Energy: p2p-send for the sender, p2p-receive for the addressed
         node, discard for every other live node in range (overhearing).
         Returns False (and counts a drop) if ``dst`` is dead or has moved
-        out of range since the routing decision.
+        out of range since the routing decision.  Drops are accounted
+        under distinct keys: ``net.unicast_dropped.dead``,
+        ``net.unicast_dropped.out_of_range`` and (from the fault filter)
+        ``net.unicast_dropped.injected``, with ``net.unicast_dropped``
+        as the aggregate.  Injected drops are silent — the method still
+        returns True, and the loss surfaces as an upper-layer timeout.
         """
         if not self.alive[src]:
             return False
@@ -219,12 +248,44 @@ class WirelessNetwork:
         neighbors = self.neighbors_of(src)
         overhearers = neighbors[neighbors != dst]
         self.energy.charge_discard(overhearers, size)
-        if not self.alive[dst] or dst not in neighbors:
+        if not self.alive[dst]:
             self.stats.count("net.unicast_dropped")
+            self.stats.count("net.unicast_dropped.dead")
             return False
+        if dst not in neighbors:
+            self.stats.count("net.unicast_dropped")
+            self.stats.count("net.unicast_dropped.out_of_range")
+            return False
+        deliveries = self._filter_delivery(src, dst, packet)
+        delay = self._hop_delay(src, size)
+        if deliveries is None:
+            # Silent channel loss: the frame was transmitted (energy and
+            # channel time spent, receiver discards a corrupt frame) but
+            # never reaches the application.
+            self.stats.count("net.unicast_dropped")
+            self.stats.count("net.unicast_dropped.injected")
+            self.energy.charge_discard(np.asarray([dst]), size)
+            return True
         self.energy.charge_p2p_recv(dst, size)
-        self.sim.schedule(self._hop_delay(src, size), self._deliver, dst, packet)
+        for extra in deliveries:
+            self.sim.schedule(delay + extra, self._deliver, dst, packet)
         return True
+
+    def _filter_delivery(self, src: int, dst: int, packet: Packet):
+        """Apply the fault filter to one would-be delivery.
+
+        Returns the list of delivery delays (``[0.0]`` when no filter is
+        installed or the delivery is untouched) or ``None`` when the
+        delivery is injected-dropped.
+        """
+        if self._fault_filter is None:
+            return [0.0]
+        plan = self._fault_filter(src, dst, packet)
+        if plan is None:
+            return [0.0]
+        if not plan:
+            return None
+        return list(plan)
 
     def _deliver(self, node_id: int, packet: Packet) -> None:
         if not self.alive[node_id]:

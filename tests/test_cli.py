@@ -69,6 +69,33 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "alive" in out  # the topology map status line
 
+    def test_faults_command(self, capsys):
+        rc = main(
+            ["faults", "--nodes", "20", "--duration", "120", "--warmup", "20",
+             "--items", "80", "--speed", "0", "--t-update", "0",
+             "--fault", "drop:p=0.2,start=30",
+             "--fault", "crash:at=60,nodes=1",
+             "--check-invariants"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lat=" in out
+        assert "faults.crashes = 1" in out
+        assert "faults.injected_drop" in out
+
+    def test_faults_plan_file(self, capsys, tmp_path):
+        from repro.faults.plan import FaultPlan
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(FaultPlan.parse(["delay:delay=0.05,p=0.5"]).to_json())
+        rc = main(
+            ["faults", "--nodes", "20", "--duration", "120", "--warmup", "20",
+             "--items", "80", "--speed", "0", "--t-update", "0",
+             "--plan-file", str(plan_file)]
+        )
+        assert rc == 0
+        assert "faults.delayed" in capsys.readouterr().out
+
     def test_fig_command_dispatch(self, capsys, monkeypatch):
         """The fig subcommand routes to the right drivers (stubbed)."""
         import repro.cli as cli
@@ -91,3 +118,65 @@ class TestExecution:
         calls.clear()
         assert main(["fig", "6", "--quick"]) == 0
         assert calls == ["678"]
+
+
+class TestAuditCommand:
+    """The documented acceptance invocation and its failure modes.
+
+    These monkeypatch the audit scenario table with a tiny fast config so
+    the CLI paths run in seconds; the real scenarios are covered by
+    tests/test_golden_digests.py.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fast_scenarios(self, monkeypatch):
+        import repro.faults.audit as audit
+
+        def tiny(seed):
+            from repro.config import SimulationConfig
+
+            return SimulationConfig(
+                n_nodes=12, n_items=30, width=500.0, height=500.0,
+                n_regions=4, max_speed=None, duration=40.0, warmup=5.0,
+                t_request=10.0, seed=seed, enable_event_log=True,
+            )
+
+        monkeypatch.setitem(audit.SCENARIOS, "baseline", tiny)
+        monkeypatch.setitem(audit.SCENARIOS, "default", tiny)
+
+    def test_audit_ok_exits_zero(self, capsys):
+        rc = main(["audit", "--seed", "42", "--scenario", "default"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "determinism: OK" in out
+
+    def test_audit_golden_roundtrip(self, capsys, tmp_path):
+        golden = tmp_path / "digests.json"
+        rc = main(["audit", "--refresh-golden", "--golden", str(golden),
+                   "--seed", "42"])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        # A "default" audit verifies against the canonical "baseline" key.
+        rc = main(["audit", "--seed", "42", "--scenario", "default",
+                   "--golden", str(golden)])
+        assert rc == 0
+        assert "golden:      OK" in capsys.readouterr().out
+
+    def test_audit_detects_golden_mismatch(self, capsys, tmp_path):
+        import json
+
+        from repro.faults.audit import audit_scenario
+
+        result = audit_scenario("baseline", seed=42)
+        entry = result.digests[0].to_dict()
+        entry["eventlog"] = "0" * 64  # tamper
+        golden = tmp_path / "digests.json"
+        golden.write_text(json.dumps({"baseline": entry}))
+
+        rc = main(["audit", "--seed", "42", "--scenario", "default",
+                   "--golden", str(golden)])
+        assert rc == 1
+        assert "golden:      MISMATCH" in capsys.readouterr().out
+
+    def test_refresh_golden_requires_path(self, capsys):
+        assert main(["audit", "--refresh-golden"]) == 2

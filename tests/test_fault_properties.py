@@ -1,0 +1,154 @@
+"""Property tests: protocol correctness under arbitrary fault plans.
+
+Satellite of the fault-injection PR: for ANY declarative
+:class:`~repro.faults.plan.FaultPlan` (random message faults, crashes,
+recoveries, partitions), after the simulation finishes and in-flight
+timeouts drain,
+
+* every structural invariant of :mod:`repro.core.invariants` holds, and
+* every request has terminated — no peer leaks a pending-request entry
+  (each entry owns a scheduled timeout, so a leak would also be an
+  event-queue leak).
+
+For plans without node crashes the request ledger must balance exactly:
+``issued == served + failed``.  Crashes abandon their owner's in-flight
+requests by design (the response would be delivered to a dead radio), so
+the general property is termination, not balance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.core.invariants import check_all
+from repro.core.network import PReCinCtNetwork
+from repro.faults.plan import FaultPlan, FaultSpec
+
+DURATION = 40.0
+#: Extra virtual time to let in-flight request timeouts fire after the
+#: workload stops (generously above the longest timeout chain).
+DRAIN = 60.0
+
+
+def small_config(seed: int, plan: FaultPlan) -> SimulationConfig:
+    return SimulationConfig(
+        n_nodes=16,
+        n_items=40,
+        width=600.0,
+        height=600.0,
+        n_regions=4,
+        max_speed=4.0,
+        duration=DURATION,
+        warmup=0.0,
+        t_request=6.0,
+        t_update=30.0,
+        consistency="push-adaptive-pull",
+        cache_fraction=0.1,
+        seed=seed,
+        fault_plan=plan,
+    )
+
+
+def window(draw) -> tuple:
+    start = draw(st.floats(0.0, DURATION - 5.0))
+    end = draw(st.floats(start + 1.0, DURATION + 10.0))
+    return start, end
+
+
+@st.composite
+def message_rules(draw):
+    rules = []
+    for kind in draw(
+        st.lists(
+            st.sampled_from(["drop", "duplicate", "delay", "reorder"]),
+            max_size=4,
+        )
+    ):
+        start, end = window(draw)
+        p = draw(st.floats(0.01, 0.3))
+        if kind == "drop":
+            rules.append(FaultSpec("drop", start=start, end=end, probability=p))
+        elif kind == "duplicate":
+            rules.append(
+                FaultSpec("duplicate", start=start, end=end, probability=p,
+                          copies=draw(st.integers(1, 2)))
+            )
+        else:  # delay / reorder
+            rules.append(
+                FaultSpec(kind, start=start, end=end, probability=p,
+                          delay_s=draw(st.floats(0.001, 0.1)))
+            )
+    return rules
+
+
+@st.composite
+def node_events(draw):
+    nodes = tuple(sorted(draw(st.sets(st.integers(0, 15), min_size=1, max_size=3))))
+    crash_at = draw(st.floats(2.0, DURATION - 10.0))
+    events = [FaultSpec("crash", at=crash_at, nodes=nodes)]
+    if draw(st.booleans()):
+        recover_at = draw(st.floats(crash_at + 2.0, DURATION - 1.0))
+        events.append(FaultSpec("recover", at=recover_at, nodes=nodes))
+    return events
+
+
+@st.composite
+def partitions(draw):
+    start, end = window(draw)
+    regions = tuple(sorted(draw(st.sets(st.integers(0, 3), min_size=1, max_size=2))))
+    return [FaultSpec("partition", start=start, end=end, regions=regions)]
+
+
+@st.composite
+def fault_plans(draw, with_node_events=True):
+    specs = list(draw(message_rules()))
+    if with_node_events and draw(st.booleans()):
+        specs.extend(draw(node_events()))
+    if draw(st.booleans()):
+        specs.extend(draw(partitions()))
+    return FaultPlan(tuple(specs))
+
+
+def run_and_drain(seed: int, plan: FaultPlan) -> PReCinCtNetwork:
+    net = PReCinCtNetwork(small_config(seed, plan))
+    net.run()
+    net.sim.run(until=DURATION + DRAIN)
+    return net
+
+
+COMMON_SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,  # reproducible CI: examples derive from the test name
+)
+
+
+@given(seed=st.integers(0, 2**16), plan=fault_plans())
+@settings(**COMMON_SETTINGS)
+def test_invariants_and_termination_under_any_fault_plan(seed, plan):
+    net = run_and_drain(seed, plan)
+    check_all(net)  # raises InvariantViolation on breakage
+    leaked = {
+        peer.id: list(peer.pending)
+        for peer in net.peers
+        if peer.pending
+    }
+    assert not leaked, f"pending requests leaked after drain: {leaked}"
+
+
+@given(seed=st.integers(0, 2**16), plan=fault_plans(with_node_events=False))
+@settings(**COMMON_SETTINGS)
+def test_request_ledger_balances_without_crashes(seed, plan):
+    net = run_and_drain(seed, plan)
+    m = net.metrics
+    assert m.requests_served + m.requests_failed == m.requests_issued, (
+        f"issued={m.requests_issued} served={m.requests_served} "
+        f"failed={m.requests_failed}"
+    )
+    assert all(not peer.pending for peer in net.peers)

@@ -1,0 +1,47 @@
+"""Golden-trace regression: runs must match the checked-in digests.
+
+The digests under ``tests/golden/digests.json`` fingerprint one full
+audited run per canonical scenario (event-log digest + report digest at
+seed 42).  Any behaviour change — intended or not — lands here first.
+An *intended* change is a one-command refresh::
+
+    PYTHONPATH=src python -m repro audit --refresh-golden \
+        --golden tests/golden/digests.json
+
+followed by a review of the new digests in the diff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.audit import CANONICAL_SCENARIOS, load_golden, run_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "digests.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden(GOLDEN_PATH)
+
+
+def test_golden_file_covers_all_canonical_scenarios(golden):
+    assert set(golden) == set(CANONICAL_SCENARIOS)
+    for name, entry in golden.items():
+        assert set(entry) == {"seed", "eventlog", "report"}, name
+        assert len(entry["eventlog"]) == 64  # sha256 hex
+        assert len(entry["report"]) == 64
+
+
+@pytest.mark.parametrize("scenario", CANONICAL_SCENARIOS)
+def test_scenario_matches_golden_digest(scenario, golden):
+    entry = golden[scenario]
+    _, _, digest = run_scenario(scenario, seed=int(entry["seed"]))
+    assert digest.eventlog == entry["eventlog"], (
+        f"event-log digest for {scenario!r} diverged from the golden; "
+        f"if the behaviour change is intentional, refresh with "
+        f"`python -m repro audit --refresh-golden --golden {GOLDEN_PATH}`"
+    )
+    assert digest.report == entry["report"]

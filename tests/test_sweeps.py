@@ -3,7 +3,8 @@
 import pytest
 
 from repro.config import SimulationConfig
-from repro.experiments.sweeps import run_sweep, sweep_grid
+from repro.experiments.sweeps import fault_sweep, run_sweep, sweep_grid
+from repro.faults.plan import FaultPlan
 
 
 BASE = SimulationConfig(
@@ -58,3 +59,34 @@ class TestRunSweep:
             assert a.requests_issued == b.requests_issued
             assert a.average_latency == pytest.approx(b.average_latency)
             assert a.energy_total_uj == pytest.approx(b.energy_total_uj)
+
+
+class TestFaultSweep:
+    PLANS = [None, FaultPlan.parse(["drop:p=0.3,start=30"])]
+
+    def test_crosses_plans_with_grid(self):
+        results = fault_sweep(BASE, self.PLANS, processes=1, seed=[1, 2])
+        assert len(results) == 4
+        # Plan-major, grid-minor submission order, plan recorded on cfg.
+        assert [cfg.fault_plan for cfg, _ in results] == [
+            None, None, self.PLANS[1], self.PLANS[1],
+        ]
+        assert [cfg.seed for cfg, _ in results] == [1, 2, 1, 2]
+        for _, report in results:
+            assert report.requests_issued > 0
+
+    def test_faulted_cells_degrade_hit_delivery(self):
+        results = fault_sweep(BASE, self.PLANS, processes=1, seed=[1])
+        (control_cfg, control), (faulted_cfg, faulted) = results
+        assert control_cfg.fault_plan is None
+        assert faulted_cfg.fault_plan is self.PLANS[1]
+        # A 30 % drop rate must lose at least some deliveries relative
+        # to the control run of the same seed.
+        assert faulted.requests_served <= control.requests_served
+
+    def test_faulted_cells_pickle_into_process_pool(self):
+        results = fault_sweep(BASE, [self.PLANS[1]], processes=2, seed=[1, 2])
+        assert len(results) == 2
+        for cfg, report in results:
+            assert cfg.fault_plan == self.PLANS[1]
+            assert report.requests_issued > 0

@@ -81,6 +81,10 @@ class TestUnicast:
         net.sim.run()
         assert received == []
         assert net.stats.value("net.unicast_dropped") == 1
+        # Drop cause is accounted under its own key.
+        assert net.stats.value("net.unicast_dropped.out_of_range") == 1
+        assert net.stats.value("net.unicast_dropped.dead") == 0
+        assert net.stats.value("net.unicast_dropped.injected") == 0
 
     def test_energy_includes_overhearers(self):
         net = make_static_network(LINE)
@@ -97,6 +101,8 @@ class TestUnicast:
         ok = net.unicast(0, 1, Packet(payload="m", size_bytes=50, src=0, dst=1))
         assert not ok
         assert net.energy.node_total(0) > 0  # sender still spent energy
+        assert net.stats.value("net.unicast_dropped.dead") == 1
+        assert net.stats.value("net.unicast_dropped.out_of_range") == 0
 
     def test_category_counted(self):
         net = make_static_network(LINE)
