@@ -168,6 +168,15 @@ class RunReport:
     latency_p99: float = float("nan")
     served_by_class: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Events silently discarded by the bounded event-log ring (0 when
+    #: logging is off or nothing was truncated).  Excluded from the
+    #: report digest (``repro.faults.audit.report_summary`` enumerates
+    #: hashed fields explicitly).
+    eventlog_dropped: int = 0
+    #: Wall-clock self-time per profiled section
+    #: (``{section: {calls, total_s, self_s}}``).  Machine-dependent by
+    #: nature, hence also excluded from the report digest.
+    profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def energy_per_request_mj(self) -> float:
@@ -189,6 +198,8 @@ class RunReport:
         metrics: RequestMetrics,
         stats: StatRegistry,
         energy_total_uj: float,
+        eventlog_dropped: int = 0,
+        profile: Dict[str, Dict[str, float]] = None,
     ) -> "RunReport":
         total_msgs = stats.value("net.broadcast_sent") + stats.value("net.unicast_sent")
         # Per-category transmission counts (request/response/consistency/
@@ -217,6 +228,8 @@ class RunReport:
             latency_p95=metrics.latency_quantiles.value(0.95),
             latency_p99=metrics.latency_quantiles.value(0.99),
             served_by_class=dict(metrics.served_by_class),
+            eventlog_dropped=eventlog_dropped,
+            profile=profile if profile is not None else {},
         )
 
     def row(self) -> str:

@@ -92,6 +92,28 @@ def describe_run(
         f"evictions {evictions}")
     add(f"  custody copies {custody} (keys {len(net.db)})")
 
+    if report.profile:
+        add("")
+        add("profile (wall-clock)")
+        for name, rec in sorted(
+            report.profile.items(), key=lambda kv: -kv[1]["self_s"]
+        ):
+            add(f"  {name:<22} calls {rec['calls']:>9,.0f}  "
+                f"total {rec['total_s']:8.3f}s  self {rec['self_s']:8.3f}s")
+
+    if net.log is not None:
+        add("")
+        add(f"event log: {len(net.log)} events kept, "
+            f"{report.eventlog_dropped} dropped")
+    if net.tracer is not None:
+        add(f"traces: {len(net.tracer)} completed, "
+            f"{net.tracer.dropped_traces} dropped, "
+            f"{net.tracer.open_traces} open")
+    if net.recorder is not None:
+        add(f"flight recorder: {net.recorder.triggers} trigger(s), "
+            f"{len(net.recorder.dumps_written)} bundle(s) in "
+            f"{net.recorder.bundle_dir}")
+
     if topology:
         from repro.analysis.topology_map import render_topology
 

@@ -228,10 +228,10 @@ class FloodingRetrievalNetwork:
             ):
                 return
             # Hop gone (moved/died): try the next-older node on the path.
-            self.stats.count("flooding.path_break")
+            self.stats.count("baseline.path_break")
         # Path fully broken before reaching the requester: drop; the
         # requester's timeout will fire.
-        self.stats.count("flooding.response_lost")
+        self.stats.count("baseline.response_lost")
 
     def _on_response_hop(self, node_id: int, msg: ReversePathResponse) -> None:
         if node_id == msg.requester:

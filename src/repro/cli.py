@@ -9,6 +9,8 @@ any Python::
     python -m repro theory --nodes 20 40 60 80
     python -m repro faults --fault 'drop:p=0.1,start=100,end=400'
     python -m repro audit --seed 42 --scenario default
+    python -m repro trace --slowest 5 --export-chrome trace.json
+    python -m repro profile --duration 400
 
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it can
 do is equally available through the library API.
@@ -138,8 +140,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh-golden", action="store_true",
         help="re-run every canonical scenario and rewrite --golden PATH",
     )
+    aud_p.add_argument(
+        "--bundle-dir", default=None, metavar="DIR",
+        help="arm the flight recorder: in-run incidents and digest "
+             "divergences leave forensic bundles in DIR",
+    )
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="run one traced simulation and summarize the request traces",
+    )
+    _add_workload_args(tr_p)
+    tr_p.add_argument("--slowest", type=int, default=5, metavar="N",
+                      help="show the N slowest requests with per-phase "
+                           "latency breakdowns")
+    tr_p.add_argument("--outcome", default=None, metavar="CLASS",
+                      help="only summarize traces with this outcome "
+                           "(e.g. 'failed', 'home', 'local-cache')")
+    tr_p.add_argument("--export-jsonl", default=None, metavar="PATH",
+                      help="write every completed trace as JSON lines")
+    tr_p.add_argument("--export-chrome", default=None, metavar="PATH",
+                      help="write a Chrome trace-event file "
+                           "(chrome://tracing, Perfetto)")
+
+    pr_p = sub.add_parser(
+        "profile",
+        help="run one simulation with wall-clock profiling and report "
+             "per-section self-times",
+    )
+    _add_workload_args(pr_p)
 
     return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """Simulation knobs shared by the trace/profile subcommands."""
+    parser.add_argument("--nodes", type=int, default=40)
+    parser.add_argument("--regions", type=int, default=9)
+    parser.add_argument("--speed", type=float, default=6.0,
+                        help="max node speed m/s (0 = static)")
+    parser.add_argument("--cache", type=float, default=0.02,
+                        help="cache fraction of database size")
+    parser.add_argument(
+        "--consistency",
+        choices=["none", "plain-push", "pull-every-time", "push-adaptive-pull"],
+        default="push-adaptive-pull",
+    )
+    parser.add_argument("--t-update", type=float, default=60.0,
+                        help="mean inter-update time (s); 0 disables updates")
+    parser.add_argument("--duration", type=float, default=400.0)
+    parser.add_argument("--warmup", type=float, default=50.0)
+    parser.add_argument("--items", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="fault rule, e.g. 'drop:p=0.1,start=100,end=300'; repeatable",
+    )
+
+
+def _workload_config(args: argparse.Namespace, **overrides) -> SimulationConfig:
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.parse(args.fault)
+    return SimulationConfig(
+        n_nodes=args.nodes,
+        n_regions=args.regions,
+        max_speed=args.speed if args.speed > 0 else None,
+        cache_fraction=args.cache,
+        consistency=args.consistency,
+        t_update=args.t_update if args.t_update > 0 else None,
+        duration=args.duration,
+        warmup=args.warmup,
+        n_items=args.items,
+        seed=args.seed,
+        fault_plan=plan if plan else None,
+        **overrides,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -287,7 +363,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     try:
         golden = load_golden(args.golden) if args.golden is not None else None
         result = audit_scenario(
-            args.scenario, seed=args.seed, runs=args.runs, golden=golden
+            args.scenario, seed=args.seed, runs=args.runs, golden=golden,
+            bundle_dir=args.bundle_dir,
         )
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -304,6 +381,86 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        cfg = _workload_config(args, enable_tracing=True)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"running traced: {cfg.n_nodes} nodes, {cfg.duration:.0f}s "
+          f"virtual time ...", file=sys.stderr)
+    net = PReCinCtNetwork(cfg)
+    report = net.run()
+    tracer = net.tracer
+    print(report.row())
+    print(f"traces: {len(tracer)} completed, {tracer.dropped_traces} dropped, "
+          f"{tracer.open_traces} still open at end of run")
+
+    print("outcomes:")
+    total = max(len(tracer), 1)
+    for outcome, count in sorted(
+        tracer.outcome_counts().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {outcome:<16} {count:>7}  ({100 * count / total:5.1f} %)")
+
+    print("spans:")
+    for name, count in sorted(
+        tracer.span_counts().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:<20} {count:>9}")
+
+    traces = tracer.completed(args.outcome)
+    if args.outcome is not None:
+        print(f"filter outcome={args.outcome!r}: {len(traces)} trace(s)")
+    slowest = sorted(traces, key=lambda t: t.latency, reverse=True)
+    slowest = slowest[: max(args.slowest, 0)]
+    if slowest:
+        print(f"slowest {len(slowest)} request(s):")
+    for trace in slowest:
+        faults = f" faults={','.join(trace.fault_tags)}" if trace.fault_tags else ""
+        print(f"  #{trace.trace_id} peer={trace.peer} key={trace.key} "
+              f"outcome={trace.outcome} latency={trace.latency:.4f}s{faults}")
+        phases = trace.phase_breakdown()
+        for span in phases:
+            tags = f"  [{','.join(span.fault_tags)}]" if span.fault_tags else ""
+            print(f"      {span.name:<16} {span.duration:8.4f}s{tags}")
+        if phases:
+            print(f"      {'(phase sum)':<16} "
+                  f"{sum(s.duration for s in phases):8.4f}s")
+
+    if args.export_jsonl is not None:
+        n = tracer.to_jsonl(args.export_jsonl)
+        print(f"wrote {n} trace(s) to {args.export_jsonl}")
+    if args.export_chrome is not None:
+        n = tracer.to_chrome_trace(args.export_chrome)
+        print(f"wrote {n} trace event(s) to {args.export_chrome}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        cfg = _workload_config(args, enable_profiling=True)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"running profiled: {cfg.n_nodes} nodes, {cfg.duration:.0f}s "
+          f"virtual time ...", file=sys.stderr)
+    net = PReCinCtNetwork(cfg)
+    report = net.run()
+    print(report.row())
+    profile = report.profile
+    if not profile:
+        print("no profiled sections recorded")
+        return 0
+    print(f"{'section':<24} {'calls':>10} {'total':>10} {'self':>10}")
+    for name, rec in sorted(
+        profile.items(), key=lambda kv: -kv[1]["self_s"]
+    ):
+        print(f"{name:<24} {rec['calls']:>10,.0f} "
+              f"{rec['total_s']:>9.3f}s {rec['self_s']:>9.3f}s")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -316,6 +473,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -179,6 +179,26 @@ class SimulationConfig:
     #: Keep a bounded structured event log of protocol events
     #: (request lifecycle, custody movement, region operations).
     enable_event_log: bool = False
+    #: Record a per-request causal trace (typed spans on simulated time,
+    #: fault tags, JSONL / Chrome trace-event export).  Pure observer:
+    #: enabling it never changes run digests.
+    enable_tracing: bool = False
+    #: Sample counters, per-region cache occupancy, and MAC backlog into
+    #: a delta-encoded time-series every ``telemetry_interval`` seconds.
+    enable_telemetry: bool = False
+    #: Simulated seconds between telemetry samples.
+    telemetry_interval: float = 5.0
+    #: Measure wall-clock self-time of engine dispatch, routing, and
+    #: cache replacement (reported, excluded from determinism digests).
+    enable_profiling: bool = False
+    #: Directory for flight-recorder incident bundles (invariant
+    #: violations, failed requests, engine crashes); None disarms the
+    #: recorder.
+    flight_recorder_dir: Optional[str] = None
+    #: Event-log tail length included in each bundle.
+    flight_recorder_events: int = 200
+    #: Maximum bundles written per run.
+    flight_recorder_max_dumps: int = 5
 
     # -- fault injection (repro.faults) ----------------------------------------------------------
     #: Declarative fault schedule (message drop/duplicate/delay/reorder,
@@ -227,6 +247,18 @@ class SimulationConfig:
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ValueError(
                 f"fault_plan must be a repro.faults.FaultPlan, got {self.fault_plan!r}"
+            )
+        if self.telemetry_interval <= 0:
+            raise ValueError(
+                f"telemetry_interval must be positive, got {self.telemetry_interval}"
+            )
+        if self.flight_recorder_events <= 0:
+            raise ValueError(
+                f"flight_recorder_events must be positive, got {self.flight_recorder_events}"
+            )
+        if self.flight_recorder_max_dumps <= 0:
+            raise ValueError(
+                f"flight_recorder_max_dumps must be positive, got {self.flight_recorder_max_dumps}"
             )
 
     @property

@@ -145,12 +145,106 @@ class PReCinCtNetwork:
             self.faults.install()
         else:
             self.faults = None
+
+        # -- observability (pure observers: digest-neutral by design) --------
+        self.tracer = None
+        self.telemetry = None
+        self.profiler = None
+        self.recorder = None
+        if cfg.enable_tracing:
+            from repro.obs import Tracer
+
+            self.tracer = Tracer(lambda: self.sim.now)
+            self.stack.router.on_hop = self._on_gpsr_hop
+            if self.faults is not None and self.faults.injector is not None:
+                self.faults.injector.observer = self._on_fault_fired
+        if cfg.enable_profiling:
+            from repro.obs import PerfProfiler
+
+            self.profiler = PerfProfiler()
+            self.sim.profile = self.profiler
+            self.stack.router.profile = self.profiler
+            self.stack.flooder.profile = self.profiler
+            for peer in self.peers:
+                peer.cache.profile = self.profiler
+        if cfg.enable_telemetry:
+            from repro.obs import TelemetrySampler
+
+            self.telemetry = TelemetrySampler(
+                self.sim,
+                self._telemetry_snapshot,
+                cfg.telemetry_interval,
+                until=cfg.duration,
+            )
+        if cfg.flight_recorder_dir is not None:
+            from repro.obs import FlightRecorder
+
+            self.recorder = FlightRecorder(
+                cfg.flight_recorder_dir,
+                eventlog=self.log,
+                tracer=self.tracer,
+                telemetry=self.telemetry.table if self.telemetry else None,
+                last_events=cfg.flight_recorder_events,
+                max_dumps=cfg.flight_recorder_max_dumps,
+            )
+            self.sim.on_crash = self._on_engine_crash
         self._ran = False
 
     def trace(self, kind: str, **fields) -> None:
         """Record a protocol event when event logging is enabled."""
         if self.log is not None:
             self.log.record(self.sim.now, kind, **fields)
+
+    # -- observability hooks (all pure readers of simulation state) ----------
+
+    def _on_gpsr_hop(self, src: int, dst: int, packet: Packet) -> None:
+        """Router hop hook: attribute the hop to the carried request."""
+        inner = getattr(packet.payload, "inner", None)
+        request_id = getattr(inner, "request_id", None)
+        if request_id is not None:
+            self.tracer.point_by_request(
+                request_id, "gpsr.hop", peer=src, to=int(dst)
+            )
+
+    def _on_fault_fired(self, kind: str, src: int, dst: int, packet: Packet) -> None:
+        """Fault-injector hook: tag the affected request's trace."""
+        payload = packet.payload
+        inner = getattr(payload, "inner", payload)
+        request_id = getattr(inner, "request_id", None)
+        if request_id is not None:
+            self.tracer.tag_fault(request_id, kind)
+
+    def _on_engine_crash(self, exc: BaseException) -> None:
+        if self.recorder is not None:
+            self.recorder.dump(
+                "engine-crash",
+                context={"error": repr(exc)},
+                sim_time=self.sim.now,
+            )
+
+    def _telemetry_snapshot(self) -> Dict[str, float]:
+        """One telemetry row: counters, cache fill, MAC backlog.
+
+        MUST stay a pure reader — no RNG draws, no stat writes, and no
+        ``positions()``/``neighbors_of()`` calls (their lazy refresh is
+        time-dependent and would perturb later routing decisions).
+        """
+        out = {f"stat.{k}": v for k, v in self.stats.counters().items()}
+        occupancy: Dict[int, float] = {}
+        entries: Dict[int, float] = {}
+        for peer in self.peers:
+            rid = peer.current_region_id
+            if rid < 0:
+                continue
+            occupancy[rid] = occupancy.get(rid, 0.0) + peer.cache.used_bytes
+            entries[rid] = entries.get(rid, 0.0) + len(peer.cache)
+        for rid in sorted(occupancy):
+            out[f"cache.region{rid}.bytes"] = occupancy[rid]
+            out[f"cache.region{rid}.entries"] = entries[rid]
+        backlog = self.network.mac_backlog()
+        out["mac.backlog_total_s"] = float(backlog.sum())
+        out["mac.backlog_max_s"] = float(backlog.max()) if backlog.size else 0.0
+        return out
 
     # -- factories ------------------------------------------------------------
 
@@ -444,7 +538,14 @@ class PReCinCtNetwork:
         if self.cfg.enable_replication and replica.region_id != home.region_id:
             targets.append(replica)
         updater_peer = self.peers[updater]
+        tracer = self.tracer
+        utrace = tracer.begin(updater, key) if tracer is not None else None
         for region in targets:
+            if utrace is not None:
+                tracer.point(
+                    utrace, "consistency.push", peer=updater,
+                    region=region.region_id,
+                )
             msg = UpdatePush(
                 key=key,
                 version=item.version,
@@ -473,10 +574,17 @@ class PReCinCtNetwork:
                     region=region.vertices,
                     category=category,
                 )
+        if utrace is not None:
+            tracer.finish(utrace, "update-push")
 
     def flood_invalidation(self, updater: int, key: int, category: str) -> None:
         """Plain-Push: network-wide invalidation flood."""
         msg = Invalidation(key=key, version=self.db.version_of(key), updater=updater)
+        tracer = self.tracer
+        if tracer is not None:
+            utrace = tracer.begin(updater, key)
+            tracer.point(utrace, "consistency.push", peer=updater, scope="global")
+            tracer.finish(utrace, "update-invalidate")
         self.stack.flood_send(updater, msg, msg.size_bytes, category=category)
 
     # -- message dispatch ---------------------------------------------------------------
@@ -748,6 +856,8 @@ class PReCinCtNetwork:
             self.sim.spawn(self.region_manager.process(), name="region-manager")
         if cfg.warmup > 0:
             self.sim.schedule(cfg.warmup, self._end_warmup)
+        if self.telemetry is not None:
+            self.telemetry.start()
         self.sim.run(until=cfg.duration)
         return self.report()
 
@@ -765,4 +875,6 @@ class PReCinCtNetwork:
             stats=self.stats,
             energy_total_uj=self.network.energy.total()
             + self.network.idle_energy_uj(),
+            eventlog_dropped=self.log.dropped if self.log is not None else 0,
+            profile=self.profiler.report() if self.profiler is not None else None,
         )

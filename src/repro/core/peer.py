@@ -92,6 +92,9 @@ class PendingRequest:
     #: True for proactive prefetch fetches (ref. [14]): network costs
     #: are charged but user-facing metrics are not touched.
     prefetch: bool = False
+    #: The request's :class:`repro.obs.tracer.Trace` when tracing is
+    #: enabled (None otherwise; prefetches are never traced).
+    trace: object = None
 
 
 class Peer:
@@ -183,6 +186,8 @@ class Peer:
         self.host.metrics.on_request_issued()
         self.host.trace("request.issued", peer=self.id, key=key)
         self._note_access(key)
+        tracer = self.host.tracer
+        rtrace = tracer.begin(self.id, key) if tracer is not None else None
 
         # 1. Own static store: authoritative, zero network cost.
         if key in self.static_keys:
@@ -191,12 +196,19 @@ class Peer:
             )
             self.host.trace("request.served", peer=self.id, key=key,
                             serve_class="local-static", latency=0.0)
+            if tracer is not None:
+                tracer.point(rtrace, "cache.lookup", peer=self.id,
+                             result="static")
+                tracer.finish(rtrace, "local-static")
             return
 
         entry = self.cache.hit(key, now) if self._cfg.enable_cache else None
         if entry is not None:
             if self.host.scheme.needs_validation(entry, now):
-                self._start_poll(key, entry, size, now)
+                if tracer is not None:
+                    tracer.point(rtrace, "cache.lookup", peer=self.id,
+                                 result="hit-needs-validation")
+                self._start_poll(key, entry, size, now, trace=rtrace)
                 return
             stale = entry.version < self.host.db.version_of(key)
             self.host.metrics.on_served(
@@ -204,7 +216,14 @@ class Peer:
             )
             self.host.trace("request.served", peer=self.id, key=key,
                             serve_class="local-cache", latency=0.0, stale=stale)
+            if tracer is not None:
+                tracer.point(rtrace, "cache.lookup", peer=self.id,
+                             result="hit-fresh")
+                tracer.finish(rtrace, "local-cache")
             return
+
+        if tracer is not None:
+            tracer.point(rtrace, "cache.lookup", peer=self.id, result="miss")
 
         # 2. Not locally available: search the region, then the home region.
         if self._cfg.enable_cache:
@@ -214,13 +233,17 @@ class Peer:
                 # Summary-Cache shortcut: every fresh regional digest
                 # rules the key out, so the local flood cannot succeed.
                 self.host.stats.count("digest.local_skipped")
-                self._start_home_search(key, size, now, searched_locally=False)
+                self._start_home_search(
+                    key, size, now, searched_locally=False, trace=rtrace
+                )
                 return
-            self._start_local_search(key, size, now)
+            self._start_local_search(key, size, now, trace=rtrace)
         else:
             # §5.2.2 analytical setting: no caching, straight to the
             # home region.
-            self._start_home_search(key, size, now, searched_locally=False)
+            self._start_home_search(
+                key, size, now, searched_locally=False, trace=rtrace
+            )
 
     # -- phase transitions -----------------------------------------------------
 
@@ -229,6 +252,10 @@ class Peer:
         pending.timeout_handle = self._sim.schedule(
             timeout, self._on_timeout, pending.request_id, pending.phase
         )
+        if pending.trace is not None:
+            tracer = self.host.tracer
+            tracer.bind(pending.trace, pending.request_id)
+            tracer.phase(pending.trace, pending.phase)
 
     def _retarget(self, pending: PendingRequest, phase: str, timeout: float) -> None:
         if pending.timeout_handle is not None:
@@ -237,6 +264,8 @@ class Peer:
         pending.timeout_handle = self._sim.schedule(
             timeout, self._on_timeout, pending.request_id, phase
         )
+        if pending.trace is not None:
+            self.host.tracer.phase(pending.trace, phase)
 
     def _finish(self, request_id: int) -> Optional[PendingRequest]:
         pending = self.pending.pop(request_id, None)
@@ -244,12 +273,18 @@ class Peer:
             pending.timeout_handle.cancel()
         return pending
 
-    def _start_local_search(self, key: int, size: float, now: float) -> None:
+    def _start_local_search(
+        self, key: int, size: float, now: float, trace=None
+    ) -> None:
         request_id = next_request_id()
-        pending = PendingRequest(request_id, key, now, PHASE_LOCAL, size)
+        pending = PendingRequest(request_id, key, now, PHASE_LOCAL, size,
+                                 trace=trace)
         self._register(pending, self._cfg.local_timeout)
         msg = LocalRequest(request_id, self.id, self._position(), key)
         region = self.host.table.get(self.current_region_id)
+        if trace is not None:
+            self.host.tracer.point(trace, "region.flood", peer=self.id,
+                                   region=self.current_region_id)
         self.host.stack.flood_send(
             self.id, msg, msg.size_bytes, region=region.vertices, category="request"
         )
@@ -262,12 +297,20 @@ class Peer:
         request_id: Optional[int] = None,
         searched_locally: bool = True,
         category: str = "request",
+        trace=None,
     ) -> None:
         if request_id is None:
             request_id = next_request_id()
-            pending = PendingRequest(request_id, key, now, PHASE_HOME, size)
+            pending = PendingRequest(request_id, key, now, PHASE_HOME, size,
+                                     trace=trace)
             self._register(pending, self._cfg.home_timeout)
         home = self.host.geohash.home_region(key, self.host.table)
+        pending = self.pending.get(request_id)
+        if pending is not None and pending.trace is not None:
+            self.host.tracer.point(
+                pending.trace, "geohash.resolve", peer=self.id,
+                home=home.region_id,
+            )
         msg = HomeRequest(request_id, self.id, self._position(), key, home.region_id)
         if home.region_id == self.current_region_id:
             if searched_locally:
@@ -277,6 +320,11 @@ class Peer:
             else:
                 # No-cache mode skipped the local search: the home region
                 # is our own, so resolve by localized flooding here.
+                if pending is not None and pending.trace is not None:
+                    self.host.tracer.point(
+                        pending.trace, "region.flood", peer=self.id,
+                        region=home.region_id,
+                    )
                 self.host.stack.flood_send(
                     self.id,
                     msg,
@@ -300,6 +348,11 @@ class Peer:
             return
         self._retarget(pending, PHASE_REPLICA, self._cfg.replica_timeout)
         replica = self.host.geohash.replica_region(pending.key, self.host.table)
+        if pending.trace is not None:
+            self.host.tracer.point(
+                pending.trace, "failover.replica", peer=self.id,
+                region=replica.region_id,
+            )
         if replica.region_id == self.current_region_id:
             self._fail(pending)
             return
@@ -327,6 +380,18 @@ class Peer:
             return
         self.host.metrics.on_request_failed()
         self.host.trace("request.failed", peer=self.id, key=pending.key)
+        if pending.trace is not None:
+            self.host.tracer.finish(pending.trace, "failed", pending.request_id)
+        recorder = self.host.recorder
+        if recorder is not None:
+            recorder.dump(
+                "request-failed",
+                context={"peer": self.id, "key": pending.key,
+                         "request_id": pending.request_id,
+                         "issued_at": pending.issued_at},
+                trace=pending.trace,
+                sim_time=self._sim.now,
+            )
 
     def _on_timeout(self, request_id: int, phase: str) -> None:
         pending = self.pending.get(request_id)
@@ -385,7 +450,7 @@ class Peer:
             pending.poll_version = msg.version
             pending.serve_class = serve_class
             pending.size_bytes = msg.data_size
-            self._maybe_cache(msg, now)
+            self._maybe_cache(msg, now, trace=pending.trace)
             self._send_poll(pending)
             return
         self._finish(msg.request_id)
@@ -404,9 +469,11 @@ class Peer:
             )
         self.host.trace("request.served", peer=self.id, key=msg.key,
                         serve_class=serve_class, latency=latency, stale=stale)
-        self._maybe_cache(msg, now)
+        if pending.trace is not None:
+            self.host.tracer.finish(pending.trace, serve_class, msg.request_id)
+        self._maybe_cache(msg, now, trace=pending.trace)
 
-    def _maybe_cache(self, msg: DataResponse, now: float) -> None:
+    def _maybe_cache(self, msg: DataResponse, now: float, trace=None) -> None:
         """Cache admission control + replacement (Fig. 1)."""
         if not self._cfg.enable_cache:
             return
@@ -429,14 +496,23 @@ class Peer:
             validated_at=now,
             last_access=now,
         )
-        self.cache.insert(entry, now)
+        evicted = self.cache.insert(entry, now)
+        if trace is not None:
+            tracer = self.host.tracer
+            tracer.point(trace, "cache.admit", peer=self.id, key=msg.key,
+                         size=msg.data_size)
+            for victim in evicted:
+                tracer.point(trace, "cache.evict", peer=self.id, key=victim)
 
     # -- validation polls ---------------------------------------------------------
 
-    def _start_poll(self, key: int, entry: CachedCopy, size: float, now: float) -> None:
+    def _start_poll(
+        self, key: int, entry: CachedCopy, size: float, now: float, trace=None
+    ) -> None:
         request_id = next_request_id()
         pending = PendingRequest(
-            request_id, key, now, PHASE_POLL, size, poll_version=entry.version
+            request_id, key, now, PHASE_POLL, size, poll_version=entry.version,
+            trace=trace,
         )
         self._register(pending, self._cfg.poll_timeout)
         self._send_poll(pending)
@@ -448,6 +524,11 @@ class Peer:
         # First attempt polls the home region; the retry polls the
         # replica region (§2.4 failover applies to all traffic classes).
         target = home if pending.poll_retries == 0 else replica
+        if pending.trace is not None:
+            self.host.tracer.point(
+                pending.trace, "consistency.poll", peer=self.id,
+                region=target.region_id, retry=pending.poll_retries,
+            )
         msg = Poll(
             pending.request_id,
             self.id,
@@ -502,6 +583,10 @@ class Peer:
         self.host.trace("request.served", peer=self.id, key=pending.key,
                         serve_class=serve_class, latency=latency,
                         validated=True)
+        if pending.trace is not None:
+            self.host.tracer.finish(
+                pending.trace, serve_class, pending.request_id
+            )
 
     def _on_poll_timeout(self, pending: PendingRequest) -> None:
         """The polled region did not answer.
@@ -514,6 +599,14 @@ class Peer:
         self.host.stats.count("peer.poll_timeout")
         if pending.poll_retries == 0 and self._cfg.enable_replication:
             pending.poll_retries = 1
+            if pending.trace is not None:
+                replica = self.host.geohash.replica_region(
+                    pending.key, self.host.table
+                )
+                self.host.tracer.point(
+                    pending.trace, "failover.replica", peer=self.id,
+                    region=replica.region_id, poll=True,
+                )
             self._retarget(pending, PHASE_POLL, self._cfg.poll_timeout)
             self._send_poll(pending)
             return
@@ -638,6 +731,12 @@ class Peer:
             return
         if arrived_by_geo:
             region = self.host.table.get(msg.target_region_id)
+            tracer = self.host.tracer
+            if tracer is not None:
+                tracer.point_by_request(
+                    msg.request_id, "region.flood", peer=self.id,
+                    region=msg.target_region_id,
+                )
             self.host.stack.flood_send(
                 self.id, msg, msg.size_bytes, region=region.vertices, category="request"
             )
@@ -723,6 +822,12 @@ class Peer:
             return
         if arrived_by_geo:
             home = self.host.geohash.home_region(msg.key, self.host.table)
+            tracer = self.host.tracer
+            if tracer is not None:
+                tracer.point_by_request(
+                    msg.request_id, "region.flood", peer=self.id,
+                    region=home.region_id,
+                )
             self.host.stack.flood_send(
                 self.id,
                 msg,

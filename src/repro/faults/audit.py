@@ -216,12 +216,25 @@ def canonical_scenario_name(name: str) -> str:
     return _ALIASES.get(name, name)
 
 
-def run_scenario(name: str, seed: int = 42, check_invariants: bool = True):
+def run_scenario(
+    name: str,
+    seed: int = 42,
+    check_invariants: bool = True,
+    observability: bool = False,
+    bundle_dir: Optional[Union[str, Path]] = None,
+):
     """Run one audited scenario; return ``(net, report, RunDigest)``.
 
     Invariants are checked at every fault boundary (via the installed
     :class:`~repro.faults.injectors.FaultController`) and once after the
     run, unless ``check_invariants`` is False.
+
+    ``observability=True`` enables tracing, telemetry, and profiling on
+    top of the scenario config; by construction (the observers are
+    digest-neutral) this must not change either digest — the test suite
+    verifies exactly that.  ``bundle_dir`` arms the flight recorder so
+    in-run incidents (invariant violations, failed requests, engine
+    crashes) leave forensic bundles there.
     """
     try:
         factory = SCENARIOS[name]
@@ -232,6 +245,15 @@ def run_scenario(name: str, seed: int = 42, check_invariants: bool = True):
     from repro.core.network import PReCinCtNetwork
 
     cfg = factory(seed)
+    if observability:
+        cfg = replace(
+            cfg,
+            enable_tracing=True,
+            enable_telemetry=True,
+            enable_profiling=True,
+        )
+    if bundle_dir is not None:
+        cfg = replace(cfg, flight_recorder_dir=str(bundle_dir))
     net = PReCinCtNetwork(cfg)
     if net.faults is not None:
         net.faults.check_invariants = check_invariants
@@ -282,18 +304,23 @@ def audit_scenario(
     seed: int = 42,
     runs: int = 2,
     golden: Optional[Dict[str, Dict[str, Any]]] = None,
+    bundle_dir: Optional[Union[str, Path]] = None,
 ) -> AuditResult:
     """Run a scenario ``runs`` times from one seed and compare digests.
 
     With ``golden`` (a mapping as returned by :func:`load_golden`), the
-    observed digest is also compared against the checked-in one.
+    observed digest is also compared against the checked-in one.  With
+    ``bundle_dir``, a digest divergence or golden mismatch dumps a
+    flight-recorder bundle (last run's event log + telemetry) there for
+    post-mortem diffing.
     """
     if runs < 2:
         raise ValueError(f"an audit needs at least 2 runs, got {runs}")
     canonical = canonical_scenario_name(name)
     result = AuditResult(scenario=canonical, seed=seed)
+    net = None
     for _ in range(runs):
-        _, _, digest = run_scenario(name, seed)
+        net, _, digest = run_scenario(name, seed, bundle_dir=bundle_dir)
         result.digests.append(digest)
     if not result.deterministic:
         result.messages.append(
@@ -325,6 +352,32 @@ def audit_scenario(
                     f"  golden   eventlog={entry['eventlog']} report={entry['report']}\n"
                     f"  observed eventlog={observed.eventlog} report={observed.report}"
                 )
+    if bundle_dir is not None and net is not None and (
+        not result.deterministic or result.golden_match is False
+    ):
+        from repro.obs import FlightRecorder
+
+        reason = (
+            "digest-divergence" if not result.deterministic
+            else "golden-mismatch"
+        )
+        recorder = FlightRecorder(
+            bundle_dir,
+            eventlog=net.log,
+            tracer=net.tracer,
+            telemetry=net.telemetry.table if net.telemetry is not None else None,
+        )
+        bundle = recorder.dump(
+            reason,
+            context={
+                "scenario": canonical,
+                "seed": seed,
+                "digests": [d.to_dict() for d in result.digests],
+            },
+            sim_time=net.sim.now,
+        )
+        if bundle is not None:
+            result.messages.append(f"flight-recorder bundle: {bundle}")
     return result
 
 

@@ -98,6 +98,9 @@ class MessageFaultInjector:
         self.stats = stats
         self.partitions = tuple(partitions)
         self.region_of = region_of
+        #: Optional ``callback(kind, src, dst, packet)`` fired whenever a
+        #: rule actually bites a delivery — the tracer's fault-tag hook.
+        self.observer = None
         if self.partitions and region_of is None:
             raise ValueError("partition rules require a region_of lookup")
         self._rules: List[Tuple[FaultSpec, np.random.Generator]] = [
@@ -123,6 +126,7 @@ class MessageFaultInjector:
         now = self.sim.now
         if self.partitions and self._partitioned(src, dst, now):
             self.stats.count("faults.partition_blocked")
+            self._observe("partition", src, dst, packet)
             return []
         extra = 0.0
         copies = 1
@@ -133,25 +137,33 @@ class MessageFaultInjector:
             if rule.kind == "drop":
                 if rule.probability >= 1.0 or rng.random() < rule.probability:
                     self.stats.count("faults.injected_drop")
+                    self._observe("drop", src, dst, packet)
                     return []
             elif rule.kind == "duplicate":
                 if rule.probability >= 1.0 or rng.random() < rule.probability:
                     copies += rule.copies
                     touched = True
                     self.stats.count("faults.duplicated", rule.copies)
+                    self._observe("duplicate", src, dst, packet)
             elif rule.kind == "delay":
                 if rule.probability >= 1.0 or rng.random() < rule.probability:
                     extra += rule.delay_s
                     touched = True
                     self.stats.count("faults.delayed")
+                    self._observe("delay", src, dst, packet)
             elif rule.kind == "reorder":
                 if rule.probability >= 1.0 or rng.random() < rule.probability:
                     extra += float(rng.uniform(0.0, rule.delay_s))
                     touched = True
                     self.stats.count("faults.reordered")
+                    self._observe("reorder", src, dst, packet)
         if not touched:
             return None
         return [extra + i * DUP_SPACING_S for i in range(copies)]
+
+    def _observe(self, kind: str, src: int, dst: int, packet: "Packet") -> None:
+        if self.observer is not None:
+            self.observer(kind, src, dst, packet)
 
 
 class FaultController:
@@ -244,8 +256,23 @@ class FaultController:
         self._boundary("heal")
 
     def _boundary(self, kind: str) -> None:
-        """A fault boundary: optionally prove the invariants still hold."""
-        if self.check_invariants:
-            from repro.core.invariants import check_all
+        """A fault boundary: optionally prove the invariants still hold.
 
-            check_all(self.host)
+        A violation dumps a flight-recorder bundle (when the host has one
+        armed) before propagating — the post-mortem state would otherwise
+        die with the raised exception.
+        """
+        if self.check_invariants:
+            from repro.core.invariants import InvariantViolation, check_all
+
+            try:
+                check_all(self.host)
+            except InvariantViolation as exc:
+                recorder = getattr(self.host, "recorder", None)
+                if recorder is not None:
+                    recorder.dump(
+                        "invariant-violation",
+                        context={"boundary": kind, "error": str(exc)},
+                        sim_time=self.host.sim.now,
+                    )
+                raise

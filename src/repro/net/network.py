@@ -180,6 +180,16 @@ class WirelessNetwork:
 
     # -- MAC timing ------------------------------------------------------
 
+    def mac_backlog(self, now: float = None) -> np.ndarray:
+        """Per-node remaining MAC send-queue time (seconds).
+
+        A pure read of the half-duplex backlog — safe for telemetry
+        samplers (no RNG, no position refresh, no state change).
+        """
+        if now is None:
+            now = self.sim.now
+        return np.maximum(self._busy_until - now, 0.0)
+
     def _hop_delay(self, src: int, size_bytes: float) -> float:
         """Delay from now until this transmission completes.
 

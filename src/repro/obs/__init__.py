@@ -1,0 +1,33 @@
+"""Deterministic observability for PReCinCt runs.
+
+Three pillars, all pure observers of the simulation (no RNG draws, no
+stat writes, no position refreshes — enabling any of them leaves the
+golden event-log and report digests byte-identical):
+
+* :mod:`repro.obs.tracer` — per-request causal traces with typed,
+  sim-time spans and fault tags; JSONL and Chrome trace-event export;
+* :mod:`repro.obs.telemetry` — periodic columnar time-series of
+  counters, cache occupancy, and MAC backlog, delta-encoded;
+* :mod:`repro.obs.profile` — wall-clock self-time of engine/routing/
+  cache hot paths (reported, but excluded from digests);
+* :mod:`repro.obs.recorder` — flight-recorder bundles dumped on
+  invariant violations, unserved requests, and audit divergence.
+
+See ``docs/OBSERVABILITY.md`` for the user-facing tour.
+"""
+
+from repro.obs.profile import NULL_PROFILER, PerfProfiler
+from repro.obs.recorder import FlightRecorder
+from repro.obs.telemetry import TelemetrySampler, TelemetryTable
+from repro.obs.tracer import Span, Trace, Tracer
+
+__all__ = [
+    "FlightRecorder",
+    "NULL_PROFILER",
+    "PerfProfiler",
+    "Span",
+    "Trace",
+    "Tracer",
+    "TelemetrySampler",
+    "TelemetryTable",
+]

@@ -1,0 +1,105 @@
+"""Wall-clock profiling of simulator hot paths.
+
+The determinism story is built on *simulated* time; this module is the
+one place that deliberately measures *wall-clock* time, answering the
+ROADMAP question "where does a run actually spend its CPU?".  Sections
+nest (``engine.dispatch`` encloses ``routing.gpsr`` encloses
+``cache.replacement``), and the profiler reports **self time** — time
+inside a section minus time inside its children — so the per-phase
+numbers are additive rather than double-counted.
+
+Profiling output is wall-clock and therefore machine-dependent: it is
+surfaced in the run report's ``profile`` field, which is intentionally
+*excluded* from the determinism digests
+(:func:`repro.faults.audit.report_summary` enumerates the hashed
+fields explicitly).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+__all__ = ["PerfProfiler", "NULL_PROFILER"]
+
+
+class PerfProfiler:
+    """Accumulates per-section wall-clock self-time.
+
+    Use as a callable context manager::
+
+        with profiler.perf_section("routing.gpsr"):
+            ...
+
+    Hot-path layers hold a ``profile`` attribute that is either a
+    profiler or ``None``; the ``None`` case costs one attribute check.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        # section -> [calls, total_s, child_s]
+        self._sections: Dict[str, List[float]] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def perf_section(self, name: str):
+        entry = self._sections.get(name)
+        if entry is None:
+            entry = self._sections[name] = [0, 0.0, 0.0]
+        self._stack.append(name)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            self._stack.pop()
+            entry[0] += 1
+            entry[1] += elapsed
+            if self._stack:
+                self._sections[self._stack[-1]][2] += elapsed
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-section ``{calls, total_s, self_s}``, self-time additive."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, (calls, total, child) in sorted(self._sections.items()):
+            out[name] = {
+                "calls": float(calls),
+                "total_s": total,
+                "self_s": max(0.0, total - child),
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerfProfiler(sections={sorted(self._sections)})"
+
+
+class _NullProfiler:
+    """Shared no-op profiler: ``perf_section`` yields immediately.
+
+    Lets call sites write ``profile = profiler or NULL_PROFILER`` once
+    instead of branching per call, without paying a context-manager
+    allocation — the null section is a reused singleton.
+    """
+
+    __slots__ = ()
+
+    class _NullSection:
+        __slots__ = ()
+
+        def __enter__(self):
+            return None
+
+        def __exit__(self, *exc):
+            return False
+
+    _SECTION = _NullSection()
+
+    def perf_section(self, name: str):
+        return self._SECTION
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+
+NULL_PROFILER = _NullProfiler()

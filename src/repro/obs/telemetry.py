@@ -1,0 +1,181 @@
+"""Telemetry time-series: periodic in-run snapshots, delta-encoded.
+
+End-of-run aggregates (``RunReport``) answer *what happened overall*;
+the telemetry table answers *when*: cache occupancy climbing after the
+warmup, MAC backlog spiking during a partition, a counter that only
+starts moving once the first TTR poll fires.
+
+Storage is **columnar with delta encoding**: each column stores its
+first value followed by successive differences, which collapses the
+common cases (monotone counters, near-constant gauges) to small
+numbers and makes the JSON export compact.  Columns may appear
+mid-run (a counter minted by a late first event); earlier rows are
+backfilled with zeros, and a column missing from a later sample
+carries its previous value forward.
+
+The sampler piggybacks on the simulator's own event queue.  Extra
+scheduled events do not perturb determinism: tie-breaking among the
+*other* events keeps their relative order (the sequence counter is
+monotone), and the sample callback is a pure reader — no RNG, no
+stats writes, and none of the lazily-refreshing position queries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TelemetryTable", "TelemetrySampler"]
+
+
+class TelemetryTable:
+    """Columnar, delta-encoded time-series of named float samples."""
+
+    def __init__(self):
+        self._time_deltas: List[float] = []
+        self._deltas: Dict[str, List[float]] = {}
+        self._last: Dict[str, float] = {}
+        self._last_time = 0.0
+        self._rows = 0
+
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def columns(self) -> List[str]:
+        return sorted(self._deltas)
+
+    def append(self, t: float, values: Dict[str, float]) -> None:
+        """Add one sample row at time ``t``."""
+        self._time_deltas.append(t - self._last_time)
+        self._last_time = t
+        for name, value in values.items():
+            column = self._deltas.get(name)
+            if column is None:
+                # Late-appearing column: zero-backfill the rows before it.
+                column = self._deltas[name] = [0.0] * self._rows
+                self._last[name] = 0.0
+            column.append(float(value) - self._last[name])
+            self._last[name] = float(value)
+        for name, column in self._deltas.items():
+            if len(column) <= self._rows:  # absent this row: carry forward
+                column.append(0.0)
+        self._rows += 1
+
+    # -- reconstruction ---------------------------------------------------
+
+    def times(self) -> List[float]:
+        out, acc = [], 0.0
+        for delta in self._time_deltas:
+            acc += delta
+            out.append(acc)
+        return out
+
+    def column(self, name: str) -> List[float]:
+        """Decoded raw values of one column (zeros before it appeared)."""
+        out, acc = [], 0.0
+        for delta in self._deltas[name]:
+            acc += delta
+            out.append(acc)
+        return out
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Decoded rows as ``{"t": ..., column: value, ...}`` dicts."""
+        decoded = {name: self.column(name) for name in self._deltas}
+        out = []
+        for i, t in enumerate(self.times()):
+            row: Dict[str, float] = {"t": t}
+            for name, series in sorted(decoded.items()):
+                row[name] = series[i]
+            out.append(row)
+        return out
+
+    def tail(self, n: int) -> List[Dict[str, float]]:
+        """The last ``n`` decoded rows (flight-recorder view)."""
+        return self.rows()[-n:] if n > 0 else []
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rows": self._rows,
+            "time_deltas": list(self._time_deltas),
+            "columns": {k: list(v) for k, v in sorted(self._deltas.items())},
+        }
+
+    def to_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TelemetryTable":
+        table = cls()
+        table._rows = int(data["rows"])
+        table._time_deltas = [float(v) for v in data["time_deltas"]]
+        table._last_time = sum(table._time_deltas)
+        for name, deltas in data["columns"].items():
+            column = [float(v) for v in deltas]
+            table._deltas[name] = column
+            table._last[name] = sum(column)
+        return table
+
+    @classmethod
+    def from_json(cls, path) -> "TelemetryTable":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TelemetryTable(rows={self._rows}, columns={len(self._deltas)})"
+
+
+class TelemetrySampler:
+    """Periodically snapshots simulator state into a :class:`TelemetryTable`.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.engine.Simulator` whose clock and queue
+        drive sampling.
+    collect:
+        Zero-argument callable returning the ``{column: value}`` snapshot.
+        It MUST be a pure reader (see module docstring).
+    interval:
+        Simulated seconds between samples.
+    until:
+        Stop rescheduling once the next sample would land past this
+        time (defaults to unbounded; ``Simulator.run(until=...)`` also
+        bounds it naturally).
+    """
+
+    def __init__(
+        self,
+        sim,
+        collect: Callable[[], Dict[str, float]],
+        interval: float,
+        until: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"telemetry interval must be positive: {interval!r}")
+        self._sim = sim
+        self._collect = collect
+        self.interval = float(interval)
+        self.until = until
+        self.table = TelemetryTable()
+        self.samples_taken = 0
+
+    def start(self) -> None:
+        """Schedule the first sample one interval from now."""
+        self._sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        self.table.append(self._sim.now, self._collect())
+        self.samples_taken += 1
+        next_time = self._sim.now + self.interval
+        if self.until is None or next_time <= self.until:
+            self._sim.schedule(self.interval, self._tick)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TelemetrySampler(interval={self.interval}, "
+            f"samples={self.samples_taken})"
+        )

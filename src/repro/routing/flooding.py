@@ -36,6 +36,9 @@ class Flooder:
         self.stats = network.stats
         # (packet_id, node_id) pairs already processed.
         self._seen: Set[Tuple[int, int]] = set()
+        #: Optional :class:`repro.obs.profile.PerfProfiler`; when set,
+        #: flood handling is timed under "routing.flood".
+        self.profile = None
 
     def flood(
         self,
@@ -71,6 +74,12 @@ class Flooder:
         application layer.  Rebroadcast happens here when scope and TTL
         allow.
         """
+        if self.profile is not None:
+            with self.profile.perf_section("routing.flood"):
+                return self._handle_impl(node_id, packet)
+        return self._handle_impl(node_id, packet)
+
+    def _handle_impl(self, node_id: int, packet: Packet) -> bool:
         key = (packet.packet_id, node_id)
         if key in self._seen:
             self.stats.count("flood.duplicate")

@@ -62,6 +62,12 @@ class GpsrRouter:
         self.on_drop = on_drop
         self.planarizer = planarizer
         self.stats = network.stats
+        #: Optional ``callback(src, dst, packet)`` fired on every hop
+        #: decision — the tracer's ``gpsr.hop`` span hook.
+        self.on_hop = None
+        #: Optional :class:`repro.obs.profile.PerfProfiler`; when set,
+        #: forwarding decisions are timed under "routing.gpsr".
+        self.profile = None
 
     # -- public API ------------------------------------------------------
 
@@ -111,6 +117,13 @@ class GpsrRouter:
     # -- forwarding machinery ----------------------------------------------
 
     def _forward(self, node_id: int, packet: Packet) -> None:
+        if self.profile is not None:
+            with self.profile.perf_section("routing.gpsr"):
+                self._forward_impl(node_id, packet)
+        else:
+            self._forward_impl(node_id, packet)
+
+    def _forward_impl(self, node_id: int, packet: Packet) -> None:
         envelope: GeoEnvelope = packet.payload
         if envelope.hops_remaining <= 0:
             self._drop(node_id, packet, "hop_budget")
@@ -213,6 +226,8 @@ class GpsrRouter:
         envelope.prev_node = None if reset_prev else src
         hop = packet.next_hop_copy(src=src, dst=dst)
         self.stats.count("gpsr.hops")
+        if self.on_hop is not None:
+            self.on_hop(src, dst, packet)
         if not self.network.unicast(src, dst, hop):
             # Next hop died or moved away between decision and delivery.
             self._drop(src, packet, "link_failed")

@@ -354,6 +354,13 @@ class Simulator:
         self._live_processes: set = set()
         self._running = False
         self.events_executed: int = 0
+        #: Optional :class:`repro.obs.profile.PerfProfiler`; when set,
+        #: every dispatched callback is timed under "engine.dispatch".
+        self.profile = None
+        #: Optional ``callback(exc)`` invoked (before re-raising) when a
+        #: dispatched event callback raises — the flight recorder's
+        #: crash hook.
+        self.on_crash = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -414,7 +421,16 @@ class Simulator:
                 continue
             self.now = time
             self.events_executed += 1
-            handle.callback(*handle.args)
+            try:
+                if self.profile is not None:
+                    with self.profile.perf_section("engine.dispatch"):
+                        handle.callback(*handle.args)
+                else:
+                    handle.callback(*handle.args)
+            except Exception as exc:
+                if self.on_crash is not None:
+                    self.on_crash(exc)
+                raise
             return True
         return False
 

@@ -163,6 +163,15 @@ class StatRegistry:
         c = self._counters.get(name)
         return c.value if c else 0.0
 
+    def counters(self) -> Dict[str, float]:
+        """Flat ``{name: value}`` view of every counter.
+
+        A read-only snapshot for in-run samplers (telemetry); unlike
+        :meth:`snapshot` it carries no ``count.`` prefix and omits
+        accumulators.
+        """
+        return {name: c.value for name, c in self._counters.items()}
+
     def mean(self, name: str) -> float:
         """Accumulator mean by name (NaN if never touched)."""
         a = self._accumulators.get(name)

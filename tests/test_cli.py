@@ -39,6 +39,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_trace_options(self):
+        args = build_parser().parse_args(
+            ["trace", "--slowest", "3", "--outcome", "failed",
+             "--export-chrome", "t.json", "--fault", "drop:p=0.1"]
+        )
+        assert args.command == "trace"
+        assert args.slowest == 3
+        assert args.outcome == "failed"
+        assert args.export_chrome == "t.json"
+        assert args.fault == ["drop:p=0.1"]
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.command == "profile"
+        assert args.nodes == 40
+        assert args.duration == 400.0
+
+    def test_audit_bundle_dir(self):
+        args = build_parser().parse_args(["audit", "--bundle-dir", "bundles"])
+        assert args.bundle_dir == "bundles"
+
 
 class TestExecution:
     def test_theory_command(self, capsys):

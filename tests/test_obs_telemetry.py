@@ -1,0 +1,148 @@
+"""Tests for telemetry time-series and wall-clock profiling (repro.obs)."""
+
+import pytest
+
+from repro.core.network import PReCinCtNetwork
+from repro.obs import NULL_PROFILER, PerfProfiler, TelemetrySampler, TelemetryTable
+from repro.sim import Simulator
+from tests.conftest import tiny_config
+
+
+class TestTelemetryTable:
+    def test_round_trip_decoding(self):
+        table = TelemetryTable()
+        table.append(5.0, {"a": 1.0, "b": 10.0})
+        table.append(10.0, {"a": 3.0, "b": 10.0})
+        table.append(15.0, {"a": 3.0, "b": 7.5})
+        assert len(table) == 3
+        assert table.times() == pytest.approx([5.0, 10.0, 15.0])
+        assert table.column("a") == pytest.approx([1.0, 3.0, 3.0])
+        assert table.column("b") == pytest.approx([10.0, 10.0, 7.5])
+
+    def test_delta_encoding_is_compact_for_monotone_counters(self):
+        table = TelemetryTable()
+        for i in range(1, 6):
+            table.append(float(i), {"count": float(100 + i)})
+        # First value, then +1 deltas.
+        assert table._deltas["count"] == pytest.approx(
+            [101.0, 1.0, 1.0, 1.0, 1.0]
+        )
+
+    def test_late_column_zero_backfilled(self):
+        table = TelemetryTable()
+        table.append(1.0, {"a": 5.0})
+        table.append(2.0, {"a": 6.0, "late": 2.0})
+        assert table.column("late") == pytest.approx([0.0, 2.0])
+        rows = table.rows()
+        assert rows[0]["late"] == 0.0 and rows[1]["late"] == 2.0
+
+    def test_missing_column_carries_forward(self):
+        table = TelemetryTable()
+        table.append(1.0, {"a": 5.0, "b": 2.0})
+        table.append(2.0, {"a": 6.0})  # b absent this sample
+        assert table.column("b") == pytest.approx([2.0, 2.0])
+
+    def test_tail(self):
+        table = TelemetryTable()
+        for i in range(5):
+            table.append(float(i), {"x": float(i)})
+        tail = table.tail(2)
+        assert [row["x"] for row in tail] == [3.0, 4.0]
+        assert table.tail(0) == []
+
+    def test_json_round_trip(self, tmp_path):
+        table = TelemetryTable()
+        table.append(1.0, {"a": 5.0})
+        table.append(3.0, {"a": 7.0, "b": 1.0})
+        path = tmp_path / "telemetry.json"
+        table.to_json(path)
+        restored = TelemetryTable.from_json(path)
+        assert restored.rows() == table.rows()
+        # Restored tables keep accepting samples with correct deltas.
+        restored.append(4.0, {"a": 8.0})
+        assert restored.column("a") == pytest.approx([5.0, 7.0, 8.0])
+
+
+class TestTelemetrySampler:
+    def test_samples_at_interval_until_bound(self):
+        sim = Simulator()
+        sampler = TelemetrySampler(
+            sim, lambda: {"v": sim.now * 2.0}, interval=2.0, until=10.0
+        )
+        sampler.start()
+        sim.run(until=20.0)
+        assert sampler.samples_taken == 5  # t = 2, 4, 6, 8, 10
+        assert sampler.table.times() == pytest.approx([2.0, 4.0, 6.0, 8.0, 10.0])
+        assert sampler.table.column("v") == pytest.approx(
+            [4.0, 8.0, 12.0, 16.0, 20.0]
+        )
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(Simulator(), dict, interval=0.0)
+
+    def test_run_level_sampling(self):
+        net = PReCinCtNetwork(
+            tiny_config(enable_telemetry=True, telemetry_interval=10.0, seed=37)
+        )
+        net.run()
+        table = net.telemetry.table
+        assert len(table) == 15  # 150 s duration / 10 s interval
+        columns = table.columns
+        assert any(c.startswith("stat.") for c in columns)
+        assert any(c.startswith("cache.region") for c in columns)
+        assert "mac.backlog_total_s" in columns
+        # Counters are monotone after the warmup reset (t = 30 s).
+        sent = [
+            row["stat.net.unicast_sent"]
+            for row in table.rows() if row["t"] > 30.0
+        ]
+        assert sent == sorted(sent)
+        assert sent[-1] > 0
+
+
+class TestPerfProfiler:
+    def test_self_time_excludes_children(self):
+        fake = iter([0.0, 1.0, 9.0, 10.0]).__next__
+        prof = PerfProfiler(clock=fake)
+        with prof.perf_section("outer"):
+            with prof.perf_section("inner"):
+                pass
+        report = prof.report()
+        assert report["outer"]["calls"] == 1
+        assert report["outer"]["total_s"] == pytest.approx(10.0)
+        assert report["outer"]["self_s"] == pytest.approx(2.0)
+        assert report["inner"]["total_s"] == pytest.approx(8.0)
+        assert report["inner"]["self_s"] == pytest.approx(8.0)
+
+    def test_exception_still_accounted(self):
+        prof = PerfProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.perf_section("s"):
+                raise RuntimeError("boom")
+        assert prof.report()["s"]["calls"] == 1
+
+    def test_null_profiler_is_reusable_no_op(self):
+        with NULL_PROFILER.perf_section("anything"):
+            pass
+        assert NULL_PROFILER.report() == {}
+
+    def test_profiled_run_reports_sections(self):
+        net = PReCinCtNetwork(tiny_config(enable_profiling=True, seed=39))
+        report = net.run()
+        assert set(report.profile) >= {
+            "engine.dispatch", "routing.gpsr", "routing.flood",
+            "cache.replacement",
+        }
+        for rec in report.profile.values():
+            assert rec["calls"] > 0
+            assert rec["self_s"] <= rec["total_s"] + 1e-12
+
+    def test_profile_excluded_from_report_digest(self):
+        from repro.faults.audit import report_summary
+
+        net = PReCinCtNetwork(tiny_config(enable_profiling=True, seed=39))
+        report = net.run()
+        summary = report_summary(report)
+        assert "profile" not in summary
+        assert "eventlog_dropped" not in summary

@@ -81,6 +81,36 @@ class TestP2Quantile:
             est.add(float(i))
         assert est.count == 42
 
+    def test_new_global_minimum_updates_lowest_marker(self):
+        """The x < h[0] branch replaces the minimum marker in place."""
+        est = P2Quantile(0.5)
+        for x in (10.0, 20.0, 30.0, 40.0, 50.0):
+            est.add(x)
+        est.add(-5.0)
+        assert est._heights[0] == -5.0
+
+    def test_new_global_maximum_updates_highest_marker(self):
+        """The x >= h[4] branch replaces the maximum marker in place."""
+        est = P2Quantile(0.5)
+        for x in (10.0, 20.0, 30.0, 40.0, 50.0):
+            est.add(x)
+        est.add(999.0)
+        assert est._heights[4] == 999.0
+        # A duplicate of the current maximum also lands in that branch.
+        est.add(999.0)
+        assert est._heights[4] == 999.0
+
+    def test_estimate_stays_within_observed_range(self):
+        """Marker interpolation must never escape [min, max] — extreme
+        outliers exercise both boundary branches repeatedly."""
+        rng = np.random.default_rng(6)
+        est = P2Quantile(0.9)
+        lo, hi = math.inf, -math.inf
+        for x in rng.pareto(1.5, 5000):
+            est.add(float(x))
+            lo, hi = min(lo, x), max(hi, x)
+            assert lo <= est.value <= hi
+
 
 class TestQuantileSet:
     def test_bundle(self):

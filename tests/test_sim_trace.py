@@ -73,6 +73,26 @@ class TestWelford:
         assert merged.count == 1
         assert merged.mean == 2.0
 
+    def test_merge_two_singletons(self):
+        """Each side alone has undefined (n=1) variance; the merge's
+        variance comes entirely from the cross-term."""
+        a = WelfordAccumulator()
+        b = WelfordAccumulator()
+        a.add(1.0)
+        b.add(3.0)
+        merged = a.merge(b)
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(2.0)
+        assert merged.variance == pytest.approx(2.0)  # var([1, 3], ddof=1)
+        assert merged.min == 1.0
+        assert merged.max == 3.0
+
+    def test_merge_both_empty(self):
+        merged = WelfordAccumulator().merge(WelfordAccumulator())
+        assert merged.count == 0
+        assert math.isnan(merged.mean)
+        assert math.isnan(merged.variance)
+
 
 class TestTimeSeries:
     def test_records_in_order(self):
