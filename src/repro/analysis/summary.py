@@ -106,9 +106,14 @@ def describe_run(
         add(f"event log: {len(net.log)} events kept, "
             f"{report.eventlog_dropped} dropped")
     if net.tracer is not None:
+        sampled = (
+            f", {net.tracer.sampled_out} sampled out "
+            f"(rate {net.cfg.trace_sample_rate})"
+            if net.tracer.sampled_out else ""
+        )
         add(f"traces: {len(net.tracer)} completed, "
             f"{net.tracer.dropped_traces} dropped, "
-            f"{net.tracer.open_traces} open")
+            f"{net.tracer.open_traces} open{sampled}")
     if net.recorder is not None:
         add(f"flight recorder: {net.recorder.triggers} trigger(s), "
             f"{len(net.recorder.dumps_written)} bundle(s) in "

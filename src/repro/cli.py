@@ -10,6 +10,7 @@ any Python::
     python -m repro faults --fault 'drop:p=0.1,start=100,end=400'
     python -m repro audit --seed 42 --scenario default
     python -m repro trace --slowest 5 --export-chrome trace.json
+    python -m repro trace diff baseline.jsonl faulted.jsonl
     python -m repro profile --duration 400
 
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it can
@@ -70,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mean connected seconds per peer (enables churn)")
     run_p.add_argument("--map", action="store_true",
                        help="print an ASCII topology snapshot after the run")
+    run_p.add_argument("--trace-sample-rate", type=float, default=None,
+                       metavar="RATE",
+                       help="enable request tracing with head-based "
+                            "sampling at RATE in [0, 1] (digest-neutral; "
+                            "bounds tracer memory on huge runs)")
+    run_p.add_argument("--export-trace", default=None, metavar="PATH",
+                       help="write the (sampled) traces as JSON lines "
+                            "(implies tracing)")
     run_p.add_argument("--report", action="store_true",
                        help="print the full multi-section run summary")
     run_p.add_argument(
@@ -145,11 +154,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the flight recorder: in-run incidents and digest "
              "divergences leave forensic bundles in DIR",
     )
+    aud_p.add_argument(
+        "--export-trace", default=None, metavar="PATH",
+        help="also trace the final audit run (digest-neutral) and write "
+             "its traces as JSON lines — a baseline for later diffs",
+    )
+    aud_p.add_argument(
+        "--baseline-trace", default=None, metavar="PATH",
+        help="trace JSONL export to diff the audited run against: phase "
+             "regressions are flagged alongside digest divergence",
+    )
 
     tr_p = sub.add_parser(
         "trace",
-        help="run one traced simulation and summarize the request traces",
+        help="run one traced simulation and summarize the request "
+             "traces, or diff two trace exports (trace diff A B)",
     )
+    tr_sub = tr_p.add_subparsers(dest="trace_cmd", metavar="{diff}")
+    diff_p = tr_sub.add_parser(
+        "diff",
+        help="align two Tracer.to_jsonl exports and rank per-phase "
+             "latency regressions",
+    )
+    diff_p.add_argument("trace_a", metavar="A.jsonl",
+                        help="baseline trace export")
+    diff_p.add_argument("trace_b", metavar="B.jsonl",
+                        help="candidate trace export")
+    diff_p.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the diff report as JSON")
+    diff_p.add_argument("--top", type=int, default=0, metavar="N",
+                        help="list only the N worst phases (0 = all)")
     _add_workload_args(tr_p)
     tr_p.add_argument("--slowest", type=int, default=5, metavar="N",
                       help="show the N slowest requests with per-phase "
@@ -196,12 +230,20 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         "--fault", action="append", default=[], metavar="SPEC",
         help="fault rule, e.g. 'drop:p=0.1,start=100,end=300'; repeatable",
     )
+    parser.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="RATE",
+        help="head-based trace sampling probability in [0, 1] "
+             "(default 1.0 = trace every request; digest-neutral)",
+    )
 
 
 def _workload_config(args: argparse.Namespace, **overrides) -> SimulationConfig:
     from repro.faults.plan import FaultPlan
 
     plan = FaultPlan.parse(args.fault)
+    overrides.setdefault(
+        "trace_sample_rate", getattr(args, "trace_sample_rate", 1.0)
+    )
     return SimulationConfig(
         n_nodes=args.nodes,
         n_regions=args.regions,
@@ -219,24 +261,20 @@ def _workload_config(args: argparse.Namespace, **overrides) -> SimulationConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    cfg = SimulationConfig(
-        n_nodes=args.nodes,
-        n_regions=args.regions,
-        max_speed=args.speed if args.speed > 0 else None,
-        mobility_model=args.mobility,
-        cache_fraction=args.cache,
-        replacement_policy=args.policy,
-        consistency=args.consistency,
-        t_update=args.t_update,
-        duration=args.duration,
-        warmup=args.warmup,
-        n_items=args.items,
-        seed=args.seed,
-        enable_digest=args.digest,
-        enable_prefetch=args.prefetch,
-        dynamic_regions=args.dynamic_regions,
-        churn_uptime=args.churn_uptime,
+    tracing = (
+        args.trace_sample_rate is not None or args.export_trace is not None
     )
+    sample_rate = (
+        args.trace_sample_rate if args.trace_sample_rate is not None else 1.0
+    )
+    try:
+        trace_overrides = dict(
+            enable_tracing=tracing, trace_sample_rate=sample_rate
+        ) if tracing else {}
+        cfg = _run_config(args, **trace_overrides)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"running: {cfg.n_nodes} nodes, {cfg.n_regions} regions, "
           f"{cfg.duration:.0f}s virtual time ...", file=sys.stderr)
     net = PReCinCtNetwork(cfg)
@@ -253,11 +291,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     for cls, count in sorted(report.served_by_class.items()):
         print(f"  served[{cls}] = {count}")
+    if net.tracer is not None:
+        print(f"  traces: {len(net.tracer)} completed, "
+              f"{net.tracer.sampled_out} sampled out "
+              f"(rate {cfg.trace_sample_rate})")
+        if args.export_trace is not None:
+            n = net.tracer.to_jsonl(args.export_trace)
+            print(f"  wrote {n} trace(s) to {args.export_trace}")
     if args.map:
         from repro.analysis.topology_map import render_topology
 
         print(render_topology(net))
     return 0
+
+
+def _run_config(args: argparse.Namespace, **overrides) -> SimulationConfig:
+    return SimulationConfig(
+        n_nodes=args.nodes,
+        n_regions=args.regions,
+        max_speed=args.speed if args.speed > 0 else None,
+        mobility_model=args.mobility,
+        cache_fraction=args.cache,
+        replacement_policy=args.policy,
+        consistency=args.consistency,
+        t_update=args.t_update,
+        duration=args.duration,
+        warmup=args.warmup,
+        n_items=args.items,
+        seed=args.seed,
+        enable_digest=args.digest,
+        enable_prefetch=args.prefetch,
+        dynamic_regions=args.dynamic_regions,
+        churn_uptime=args.churn_uptime,
+        **overrides,
+    )
 
 
 def _cmd_fig(args: argparse.Namespace) -> int:
@@ -365,6 +432,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         result = audit_scenario(
             args.scenario, seed=args.seed, runs=args.runs, golden=golden,
             bundle_dir=args.bundle_dir,
+            trace_path=args.export_trace,
+            baseline_trace=args.baseline_trace,
         )
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -376,6 +445,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     print(f"determinism: {'OK' if result.deterministic else 'FAILED'}")
     if result.golden_match is not None:
         print(f"golden:      {'OK' if result.golden_match else 'MISMATCH'}")
+    if result.trace_diff is not None:
+        regressions = result.trace_diff.regressions()
+        print(f"phase regressions vs baseline trace: "
+              f"{len(regressions) or 'none'}")
+        print(result.trace_diff.render())
     for message in result.messages:
         print(message, file=sys.stderr)
     return 0 if result.ok else 1
@@ -395,6 +469,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(report.row())
     print(f"traces: {len(tracer)} completed, {tracer.dropped_traces} dropped, "
           f"{tracer.open_traces} still open at end of run")
+    if cfg.trace_sample_rate < 1.0:
+        print(f"sampling: rate {cfg.trace_sample_rate}, "
+              f"{tracer.sampled_out} request(s) sampled out")
 
     print("outcomes:")
     total = max(len(tracer), 1)
@@ -437,6 +514,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs.tracediff import diff_files
+
+    try:
+        diff = diff_files(args.trace_a, args.trace_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(diff.render(top=args.top))
+    if args.json is not None:
+        diff.write_json(args.json)
+        print(f"wrote diff report to {args.json}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     try:
         cfg = _workload_config(args, enable_profiling=True)
@@ -474,6 +566,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "audit":
         return _cmd_audit(args)
     if args.command == "trace":
+        if getattr(args, "trace_cmd", None) == "diff":
+            return _cmd_trace_diff(args)
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)

@@ -183,6 +183,12 @@ class SimulationConfig:
     #: fault tags, JSONL / Chrome trace-event export).  Pure observer:
     #: enabling it never changes run digests.
     enable_tracing: bool = False
+    #: Head-based trace sampling probability in [0, 1]: each request is
+    #: traced fully with this probability and not at all otherwise,
+    #: bounding tracer memory on huge runs.  The decision draws from a
+    #: dedicated observer RNG stream, so any rate leaves the run's
+    #: digests byte-identical (1.0 = trace everything, draw-free).
+    trace_sample_rate: float = 1.0
     #: Sample counters, per-region cache occupancy, and MAC backlog into
     #: a delta-encoded time-series every ``telemetry_interval`` seconds.
     enable_telemetry: bool = False
@@ -247,6 +253,10 @@ class SimulationConfig:
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ValueError(
                 f"fault_plan must be a repro.faults.FaultPlan, got {self.fault_plan!r}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate}"
             )
         if self.telemetry_interval <= 0:
             raise ValueError(

@@ -152,9 +152,15 @@ class PReCinCtNetwork:
         self.profiler = None
         self.recorder = None
         if cfg.enable_tracing:
-            from repro.obs import Tracer
+            from repro.obs import Tracer, make_sampler
 
-            self.tracer = Tracer(lambda: self.sim.now)
+            # The head-based sampler draws from the dedicated "obs"
+            # stream: stream independence keeps any sample rate
+            # digest-neutral.  Rate 1.0 installs no sampler at all.
+            sampler = make_sampler(
+                cfg.trace_sample_rate, rng=self.rngs.get("obs")
+            )
+            self.tracer = Tracer(lambda: self.sim.now, sampler=sampler)
             self.stack.router.on_hop = self._on_gpsr_hop
             if self.faults is not None and self.faults.injector is not None:
                 self.faults.injector.observer = self._on_fault_fired

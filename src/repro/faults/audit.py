@@ -222,6 +222,7 @@ def run_scenario(
     check_invariants: bool = True,
     observability: bool = False,
     bundle_dir: Optional[Union[str, Path]] = None,
+    trace_sample_rate: Optional[float] = None,
 ):
     """Run one audited scenario; return ``(net, report, RunDigest)``.
 
@@ -232,9 +233,12 @@ def run_scenario(
     ``observability=True`` enables tracing, telemetry, and profiling on
     top of the scenario config; by construction (the observers are
     digest-neutral) this must not change either digest — the test suite
-    verifies exactly that.  ``bundle_dir`` arms the flight recorder so
-    in-run incidents (invariant violations, failed requests, engine
-    crashes) leave forensic bundles there.
+    verifies exactly that.  ``trace_sample_rate`` enables tracing with
+    head-based sampling at the given rate, which is equally
+    digest-neutral (the sampler draws only from the dedicated observer
+    stream) — the golden tests assert that too.  ``bundle_dir`` arms the
+    flight recorder so in-run incidents (invariant violations, failed
+    requests, engine crashes) leave forensic bundles there.
     """
     try:
         factory = SCENARIOS[name]
@@ -251,6 +255,10 @@ def run_scenario(
             enable_tracing=True,
             enable_telemetry=True,
             enable_profiling=True,
+        )
+    if trace_sample_rate is not None:
+        cfg = replace(
+            cfg, enable_tracing=True, trace_sample_rate=trace_sample_rate
         )
     if bundle_dir is not None:
         cfg = replace(cfg, flight_recorder_dir=str(bundle_dir))
@@ -285,6 +293,9 @@ class AuditResult:
     #: None = not checked (no golden entry supplied for the scenario).
     golden_match: Optional[bool] = None
     messages: List[str] = field(default_factory=list)
+    #: Phase-level comparison against a supplied baseline trace export
+    #: (a :class:`repro.obs.tracediff.TraceDiff`); None = not requested.
+    trace_diff: Optional[Any] = None
 
     @property
     def deterministic(self) -> bool:
@@ -305,6 +316,8 @@ def audit_scenario(
     runs: int = 2,
     golden: Optional[Dict[str, Dict[str, Any]]] = None,
     bundle_dir: Optional[Union[str, Path]] = None,
+    trace_path: Optional[Union[str, Path]] = None,
+    baseline_trace: Optional[Union[str, Path]] = None,
 ) -> AuditResult:
     """Run a scenario ``runs`` times from one seed and compare digests.
 
@@ -313,14 +326,26 @@ def audit_scenario(
     ``bundle_dir``, a digest divergence or golden mismatch dumps a
     flight-recorder bundle (last run's event log + telemetry) there for
     post-mortem diffing.
+
+    ``trace_path`` exports the final run's request traces as JSONL (the
+    final run is traced, which is digest-neutral, so the audit itself is
+    unchanged).  ``baseline_trace`` diffs the final run's traces against
+    a previously exported baseline and records the phase-regression
+    report in :attr:`AuditResult.trace_diff` — alongside the digest
+    verdicts, this localizes *where* a divergent or slower run spends
+    its extra latency.
     """
     if runs < 2:
         raise ValueError(f"an audit needs at least 2 runs, got {runs}")
     canonical = canonical_scenario_name(name)
     result = AuditResult(scenario=canonical, seed=seed)
+    want_tracing = trace_path is not None or baseline_trace is not None
     net = None
-    for _ in range(runs):
-        net, _, digest = run_scenario(name, seed, bundle_dir=bundle_dir)
+    for index in range(runs):
+        net, _, digest = run_scenario(
+            name, seed, bundle_dir=bundle_dir,
+            observability=want_tracing and index == runs - 1,
+        )
         result.digests.append(digest)
     if not result.deterministic:
         result.messages.append(
@@ -378,6 +403,26 @@ def audit_scenario(
         )
         if bundle is not None:
             result.messages.append(f"flight-recorder bundle: {bundle}")
+    if want_tracing and net is not None and net.tracer is not None:
+        if trace_path is not None:
+            count = net.tracer.to_jsonl(trace_path)
+            result.messages.append(f"wrote {count} trace(s) to {trace_path}")
+        if baseline_trace is not None:
+            from repro.obs.tracediff import diff_traces, load_traces
+
+            result.trace_diff = diff_traces(
+                load_traces(baseline_trace),
+                [t.to_dict() for t in net.tracer],
+                label_a="baseline",
+                label_b=canonical,
+            )
+            for stat in result.trace_diff.regressions():
+                result.messages.append(
+                    f"PHASE REGRESSION: {stat.phase} "
+                    f"{stat.p95_delta:+.4f}s p95 "
+                    f"({stat.total_delta:+.4f}s total over "
+                    f"{stat.regressed} regressed request(s))"
+                )
     return result
 
 

@@ -6,6 +6,11 @@ golden event-log and report digests byte-identical):
 
 * :mod:`repro.obs.tracer` — per-request causal traces with typed,
   sim-time spans and fault tags; JSONL and Chrome trace-event export;
+* :mod:`repro.obs.sampling` — head-based probabilistic trace sampling
+  on a dedicated observer RNG stream (bounded tracer memory for
+  million-request runs, still digest-neutral);
+* :mod:`repro.obs.tracediff` — cross-run trace diffing: align two
+  JSONL exports, rank per-phase latency regressions, attribute faults;
 * :mod:`repro.obs.telemetry` — periodic columnar time-series of
   counters, cache occupancy, and MAC backlog, delta-encoded;
 * :mod:`repro.obs.profile` — wall-clock self-time of engine/routing/
@@ -18,7 +23,9 @@ See ``docs/OBSERVABILITY.md`` for the user-facing tour.
 
 from repro.obs.profile import NULL_PROFILER, PerfProfiler
 from repro.obs.recorder import FlightRecorder
+from repro.obs.sampling import TraceSampler, make_sampler
 from repro.obs.telemetry import TelemetrySampler, TelemetryTable
+from repro.obs.tracediff import TraceDiff, diff_files, diff_traces, load_traces
 from repro.obs.tracer import Span, Trace, Tracer
 
 __all__ = [
@@ -27,7 +34,13 @@ __all__ = [
     "PerfProfiler",
     "Span",
     "Trace",
+    "TraceDiff",
+    "TraceSampler",
     "Tracer",
     "TelemetrySampler",
     "TelemetryTable",
+    "diff_files",
+    "diff_traces",
+    "load_traces",
+    "make_sampler",
 ]

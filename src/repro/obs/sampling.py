@@ -1,0 +1,97 @@
+"""Head-based probabilistic trace sampling.
+
+Million-request runs cannot afford a :class:`~repro.obs.tracer.Trace`
+per request: even with the completed-trace ring and the per-trace span
+cap, tracing every request costs memory and export time linear in the
+request count.  **Head-based sampling** makes the decision once, when
+the request is issued (the "head" of the trace), so either a request's
+*entire* causal record is kept or none of it is — there are no
+half-traces.
+
+Determinism and digest neutrality
+---------------------------------
+The sampler draws exactly one uniform variate per decision from a
+**dedicated observer RNG stream** (``rngs.get("obs")``).  Stream
+independence in :class:`~repro.sim.rng.RngRegistry` guarantees those
+draws can never perturb mobility, workload, MAC jitter, or fault
+injection, so a sampled run is byte-for-byte digest-identical to the
+unsampled run — the test suite asserts this against the golden digests
+for rates 0, 0.25, and 1.0.
+
+Because the simulation itself is deterministic, the same seed and rate
+always admit the same set of traces.  Moreover the decision for trace
+*n* compares the *same* ``n``-th variate against the rate, so the
+admitted sets are **nested across rates**: every trace sampled at rate
+0.25 is also sampled at rate 0.75.
+
+The edge rates skip the RNG entirely (rate 0 admits nothing, rate 1
+admits everything), which keeps ``trace_sample_rate=1.0`` — the default
+— draw-free and bit-identical to pre-sampling behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["TraceSampler", "make_sampler"]
+
+
+class TraceSampler:
+    """Decides, per trace head, whether to record the trace.
+
+    Parameters
+    ----------
+    rate:
+        Probability in ``[0, 1]`` that a trace is admitted.
+    rng:
+        ``numpy.random.Generator`` supplying the uniform draws.  Required
+        for fractional rates; rates 0 and 1 never draw and may omit it.
+    """
+
+    def __init__(self, rate: float, rng=None):
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        if 0.0 < rate < 1.0 and rng is None:
+            raise ValueError(
+                f"a fractional sample rate ({rate}) needs an rng stream"
+            )
+        self.rate = rate
+        self._rng = rng
+        self.admitted = 0
+        self.rejected = 0
+
+    def sample(self) -> bool:
+        """One head-based decision; counts it either way."""
+        if self.rate >= 1.0:
+            keep = True
+        elif self.rate <= 0.0:
+            keep = False
+        else:
+            keep = bool(self._rng.random() < self.rate)
+        if keep:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+        return keep
+
+    @property
+    def decisions(self) -> int:
+        return self.admitted + self.rejected
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSampler(rate={self.rate}, admitted={self.admitted}, "
+            f"rejected={self.rejected})"
+        )
+
+
+def make_sampler(rate: float, rng=None) -> Optional[TraceSampler]:
+    """A sampler for ``rate``, or None when sampling is a no-op (rate 1).
+
+    Returning None for the default rate keeps the tracer's hot path
+    free of any sampler call in the common record-everything case.
+    """
+    if rate >= 1.0:
+        return None
+    return TraceSampler(rate, rng=rng)

@@ -22,23 +22,37 @@ slow" answer the flat event log cannot give.
 
 Determinism
 -----------
-The tracer is a pure observer: it never draws randomness, never
-schedules events, and never touches the :class:`StatRegistry`, so a
-traced run is byte-identical (event-log and report digests) to the
-same run without tracing.  All timestamps are simulated time.
+The tracer is a pure observer: it never schedules events and never
+touches the :class:`StatRegistry`, and its only randomness — the
+optional head-based :class:`~repro.obs.sampling.TraceSampler` — draws
+from a dedicated observer stream, so a traced (or sampled) run is
+byte-identical (event-log and report digests) to the same run without
+tracing.  All timestamps are simulated time.
+
+Sampling
+--------
+With a sampler installed, :meth:`Tracer.begin` decides at the trace
+head whether the request is recorded at all; rejected requests return
+``None`` and every downstream recording call (``bind``, ``phase``,
+``point``, ``finish``) accepts ``None`` as a no-op.  Trace ids are
+consumed for rejected traces too, so a sampled export's ids line up
+with the same run traced in full.
 
 Exports
 -------
 :meth:`Tracer.to_jsonl` writes one JSON object per trace;
 :meth:`Tracer.to_chrome_trace` writes the Chrome trace-event format
 (load the file in Perfetto / ``chrome://tracing``; one row per peer,
-simulated microseconds on the time axis).
+simulated microseconds on the time axis).  Both accept str or
+``os.PathLike`` paths, expand ``~``, and create missing parent
+directories.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter, deque
+from pathlib import Path
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["Span", "Trace", "Tracer"]
@@ -160,29 +174,46 @@ class Tracer:
     capacity:
         Completed traces retained (oldest dropped first); ``None``
         retains everything.
+    sampler:
+        Optional :class:`~repro.obs.sampling.TraceSampler` consulted
+        once per :meth:`begin`; ``None`` records every trace.
     """
 
-    def __init__(self, clock, capacity: Optional[int] = 100_000):
+    def __init__(self, clock, capacity: Optional[int] = 100_000,
+                 sampler=None):
         self._clock = clock
         self._completed: Deque[Trace] = deque(maxlen=capacity)
         self._capacity = capacity
+        self._sampler = sampler
         #: Open traces by the request id currently carrying them.  One
         #: trace may be re-bound as its request id changes hands (a
         #: poll that restarts as a home search keeps its request id).
         self._by_request: Dict[int, Trace] = {}
         self._next_trace_id = 0
         self.dropped_traces = 0
+        #: Traces rejected at the head by the sampler.
+        self.sampled_out = 0
 
     # -- lifecycle --------------------------------------------------------
 
-    def begin(self, peer: int, key: int) -> Trace:
-        """Open a trace for a request issued now."""
-        trace = Trace(self._next_trace_id, peer, key, self._clock())
-        self._next_trace_id += 1
-        return trace
+    def begin(self, peer: int, key: int) -> Optional[Trace]:
+        """Open a trace for a request issued now.
 
-    def bind(self, trace: Trace, request_id: int) -> None:
+        Returns ``None`` when the head-based sampler rejects the
+        request; the trace id is consumed either way, so ids are stable
+        across sample rates.
+        """
+        trace_id = self._next_trace_id
+        self._next_trace_id += 1
+        if self._sampler is not None and not self._sampler.sample():
+            self.sampled_out += 1
+            return None
+        return Trace(trace_id, peer, key, self._clock())
+
+    def bind(self, trace: Optional[Trace], request_id: int) -> None:
         """Associate an open trace with an in-flight request id."""
+        if trace is None:
+            return
         self._by_request[request_id] = trace
 
     def lookup(self, request_id: Optional[int]) -> Optional[Trace]:
@@ -191,8 +222,10 @@ class Tracer:
             return None
         return self._by_request.get(request_id)
 
-    def phase(self, trace: Trace, name: str, **attrs: Any) -> None:
+    def phase(self, trace: Optional[Trace], name: str, **attrs: Any) -> None:
         """End the open phase span (if any) and start ``phase.<name>``."""
+        if trace is None:
+            return
         now = self._clock()
         if trace.open_phase is not None:
             trace.open_phase.end = now
@@ -284,10 +317,29 @@ class Tracer:
 
     # -- exporters --------------------------------------------------------
 
+    @staticmethod
+    def _export_path(path) -> Path:
+        """Normalize an export target: expand ``~``, create parents.
+
+        Accepts str or ``os.PathLike``; a bare filename resolves against
+        the working directory.  Rejects directories early with a clear
+        error instead of failing inside ``open``.
+        """
+        out = Path(path).expanduser()
+        if out.is_dir():
+            raise IsADirectoryError(f"export path is a directory: {out}")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        return out
+
     def to_jsonl(self, path) -> int:
-        """Write one JSON object per completed trace; returns the count."""
+        """Write one JSON object per completed trace; returns the count.
+
+        Zero completed traces produce a valid empty file (a sampled-out
+        or trace-free run still exports, and an empty export diffs
+        cleanly against any other).
+        """
         n = 0
-        with open(path, "w", encoding="utf-8") as fh:
+        with open(self._export_path(path), "w", encoding="utf-8") as fh:
             for trace in self._completed:
                 fh.write(json.dumps(trace.to_dict(), sort_keys=True,
                                     default=repr))
@@ -328,7 +380,7 @@ class Tracer:
                                    "dur": span.duration * 1e6})
                 else:
                     events.append({**common, "ph": "i", "s": "t"})
-        with open(path, "w", encoding="utf-8") as fh:
+        with open(self._export_path(path), "w", encoding="utf-8") as fh:
             json.dump({"traceEvents": events,
                        "displayTimeUnit": "ms"}, fh)
         return len(events)
@@ -336,5 +388,6 @@ class Tracer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Tracer(completed={len(self._completed)}, "
-            f"open={len(self._by_request)}, dropped={self.dropped_traces})"
+            f"open={len(self._by_request)}, dropped={self.dropped_traces}, "
+            f"sampled_out={self.sampled_out})"
         )

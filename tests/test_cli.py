@@ -60,6 +60,48 @@ class TestParser:
         args = build_parser().parse_args(["audit", "--bundle-dir", "bundles"])
         assert args.bundle_dir == "bundles"
 
+    def test_audit_trace_flags(self):
+        args = build_parser().parse_args(
+            ["audit", "--export-trace", "base.jsonl",
+             "--baseline-trace", "old.jsonl"]
+        )
+        assert args.export_trace == "base.jsonl"
+        assert args.baseline_trace == "old.jsonl"
+
+    def test_run_trace_sampling_flags(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace_sample_rate is None  # tracing stays off
+        args = build_parser().parse_args(
+            ["run", "--trace-sample-rate", "0.25",
+             "--export-trace", "out.jsonl"]
+        )
+        assert args.trace_sample_rate == 0.25
+        assert args.export_trace == "out.jsonl"
+
+    def test_trace_sample_rate_on_trace_command(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.trace_sample_rate == 1.0
+        assert args.trace_cmd is None
+        args = build_parser().parse_args(
+            ["trace", "--trace-sample-rate", "0.5"]
+        )
+        assert args.trace_sample_rate == 0.5
+
+    def test_trace_diff_subcommand(self):
+        args = build_parser().parse_args(
+            ["trace", "diff", "a.jsonl", "b.jsonl",
+             "--json", "report.json", "--top", "3"]
+        )
+        assert args.trace_cmd == "diff"
+        assert args.trace_a == "a.jsonl"
+        assert args.trace_b == "b.jsonl"
+        assert args.json == "report.json"
+        assert args.top == 3
+
+    def test_trace_diff_requires_both_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "diff", "a.jsonl"])
+
 
 class TestExecution:
     def test_theory_command(self, capsys):

@@ -45,3 +45,28 @@ def test_scenario_matches_golden_digest(scenario, golden):
         f"`python -m repro audit --refresh-golden --golden {GOLDEN_PATH}`"
     )
     assert digest.report == entry["report"]
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.25, 1.0])
+def test_trace_sampling_is_digest_neutral(rate, golden):
+    """Sampled tracing reproduces the golden digests byte-for-byte.
+
+    The sampler draws only from the dedicated observer stream, so a
+    run traced at any ``trace_sample_rate`` — including 0 (trace
+    nothing) and fractional rates (one RNG draw per request head) —
+    must fingerprint identically to the untraced golden run.
+    """
+    entry = golden["baseline"]
+    net, _, digest = run_scenario(
+        "baseline", seed=int(entry["seed"]), trace_sample_rate=rate
+    )
+    assert digest.eventlog == entry["eventlog"], (
+        f"trace_sample_rate={rate} perturbed the event-log digest: "
+        f"sampling is drawing from (or reordering) a simulation stream"
+    )
+    assert digest.report == entry["report"]
+    assert net.tracer is not None
+    if rate == 0.0:
+        assert len(net.tracer) == 0 and net.tracer.sampled_out > 0
+    elif rate == 1.0:
+        assert len(net.tracer) > 0 and net.tracer.sampled_out == 0

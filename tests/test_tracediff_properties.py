@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for cross-run trace diffing.
+
+The differ's claims are algebraic, so they are stated as properties
+over synthetic trace exports rather than examples:
+
+* **alignment is a bijection on the common identities** — every trace
+  appears exactly once across (pairs, only_a, only_b), each ``(peer,
+  key)`` group pairs exactly ``min(|A|, |B|)`` traces, and pairs match
+  identities;
+* **phase deltas sum to the latency delta** — per aligned pair and in
+  aggregate, because phase spans partition each side's latency;
+* **diff(A, A) is identically zero**.
+
+All durations and start times are dyadic rationals (multiples of
+1/1024), so every sum and difference is exact in binary floating point
+and the sum identities hold with ``==``, not ``approx``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.tracediff import align_traces, diff_traces
+
+PHASES = ("local", "home", "replica", "poll")
+
+#: Durations on a dyadic grid: k / 1024 for integer k.  Exactly
+#: representable, and sums of a few thousand of them stay exact.
+dyadic = st.integers(min_value=0, max_value=2048).map(lambda k: k / 1024.0)
+
+
+def build_trace(trace_id, peer, key, start, phase_list):
+    """A synthetic export dict whose phase spans tile [start, end]."""
+    spans = []
+    t = start
+    for name, dur in phase_list:
+        spans.append({"name": f"phase.{name}", "start": t, "end": t + dur,
+                      "peer": peer})
+        t += dur
+    return {
+        "trace_id": trace_id, "peer": peer, "key": key,
+        "start": start, "end": t, "latency": t - start,
+        "outcome": "home", "faults": [], "dropped_spans": 0,
+        "spans": spans,
+    }
+
+
+@st.composite
+def trace_lists(draw, max_traces=10):
+    """A list of synthetic traces with colliding (peer, key) identities."""
+    n = draw(st.integers(min_value=0, max_value=max_traces))
+    traces = []
+    for trace_id in range(n):
+        peer = draw(st.integers(min_value=0, max_value=2))
+        key = draw(st.integers(min_value=0, max_value=2))
+        start = draw(dyadic)
+        phase_list = draw(
+            st.lists(st.tuples(st.sampled_from(PHASES), dyadic), max_size=4)
+        )
+        traces.append(build_trace(trace_id, peer, key, start, phase_list))
+    return traces
+
+
+def identity(trace):
+    return (trace["peer"], trace["key"])
+
+
+@settings(max_examples=150)
+@given(trace_lists(), trace_lists())
+def test_alignment_is_bijection_on_common_identities(a, b):
+    pairs, only_a, only_b = align_traces(a, b)
+
+    # Every input trace lands in exactly one bucket, exactly once.
+    seen_a = Counter(id(p.a) for p in pairs) + Counter(id(t) for t in only_a)
+    seen_b = Counter(id(p.b) for p in pairs) + Counter(id(t) for t in only_b)
+    assert seen_a == Counter(id(t) for t in a)
+    assert seen_b == Counter(id(t) for t in b)
+
+    # Pairs match identities, and each group pairs min(|A|, |B|) traces.
+    assert all(identity(p.a) == identity(p.b) for p in pairs)
+    groups_a = Counter(identity(t) for t in a)
+    groups_b = Counter(identity(t) for t in b)
+    expected_pairs = sum(
+        min(groups_a[g], groups_b[g]) for g in groups_a.keys() & groups_b.keys()
+    )
+    assert len(pairs) == expected_pairs
+    assert len(only_a) == len(a) - expected_pairs
+    assert len(only_b) == len(b) - expected_pairs
+
+    # Within a group, the n-th issue of A meets the n-th issue of B.
+    per_group = {}
+    for pair in pairs:
+        per_group.setdefault(identity(pair.a), []).append(pair)
+    for group in per_group.values():
+        starts_a = [p.a["start"] for p in group]
+        starts_b = [p.b["start"] for p in group]
+        assert starts_a == sorted(starts_a)
+        assert starts_b == sorted(starts_b)
+
+
+@settings(max_examples=150)
+@given(trace_lists(), trace_lists())
+def test_phase_deltas_sum_to_latency_delta(a, b):
+    pairs, _, _ = align_traces(a, b)
+    for pair in pairs:
+        # Exact equality: all quantities are dyadic rationals.
+        assert sum(pair.phase_deltas().values()) == pair.latency_delta
+
+    diff = diff_traces(a, b)
+    assert sum(p.total_delta for p in diff.phases) == diff.latency_total
+    # The per-phase means sum to the end-to-end mean (up to the float
+    # division by `aligned`, which is the one inexact step).
+    if diff.aligned:
+        assert abs(
+            sum(p.mean_delta for p in diff.phases) - diff.latency_mean
+        ) < 1e-9
+
+
+@settings(max_examples=150)
+@given(trace_lists())
+def test_self_diff_is_identically_zero(traces):
+    diff = diff_traces(traces, traces)
+    assert diff.is_zero
+    assert diff.regressions() == []
+    assert diff.latency_total == 0.0
+    assert diff.latency_p95 == 0.0
+    assert diff.latency_max == 0.0
+    assert all(
+        p.total_delta == 0.0 and p.p95_delta == 0.0 and p.mean_delta == 0.0
+        for p in diff.phases
+    )
+    assert all(delta == 0 for delta in diff.span_deltas().values())
+    assert not diff.outcome_shifts
