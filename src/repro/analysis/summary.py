@@ -75,6 +75,15 @@ def describe_run(
         add(f"  idle/listening   {idle / 1e6:10.3f} J")
     add(f"  fairness (Jain)  {jain_fairness(net.network.energy.per_node()):10.3f}")
 
+    attributor = net.energy_attribution
+    if attributor is not None and attributor.charges_seen:
+        add("")
+        add("energy attribution (span kind / request phase)")
+        for kind, uj in attributor.by_span().items():
+            add(f"  span  {kind:<18} {uj / 1e6:10.3f} J")
+        for phase, uj in attributor.by_phase().items():
+            add(f"  phase {phase:<18} {uj / 1e6:10.3f} J")
+
     add("")
     add("topology")
     from repro.analysis.connectivity import analyze_connectivity
@@ -118,6 +127,9 @@ def describe_run(
         add(f"flight recorder: {net.recorder.triggers} trigger(s), "
             f"{len(net.recorder.dumps_written)} bundle(s) in "
             f"{net.recorder.bundle_dir}")
+    if net.anomaly is not None:
+        add(f"anomaly triggers: {net.anomaly.triggers} firing(s) across "
+            f"{len(net.anomaly.rules)} rule(s)")
 
     if topology:
         from repro.analysis.topology_map import render_topology

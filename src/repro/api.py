@@ -1,0 +1,56 @@
+"""Stable public API facade.
+
+Everything a script needs to run, audit, and observe a simulation,
+importable from one place::
+
+    from repro.api import Observers, SimulationConfig, run_scenario
+
+    report = run_scenario(
+        "baseline", seed=42,
+        observers=Observers(tracing=True, energy_attribution=True),
+    )
+
+The facade re-exports (it defines nothing of its own):
+
+``SimulationConfig``
+    Every simulation knob (:mod:`repro.config`).
+``PReCinCtNetwork``
+    The simulation engine; ``PReCinCtNetwork(cfg, observers=...).run()``
+    returns a ``RunReport`` (:mod:`repro.core.network`).
+``RunReport``
+    The end-of-run metrics bundle (:mod:`repro.analysis.metrics`).
+``Observers``
+    Composition of all observer subsystems — tracing, telemetry,
+    profiling, flight recorder, span-level energy attribution, anomaly
+    triggers — attached to an engine through one entry point
+    (:mod:`repro.obs.observers`).
+``run_scenario`` / ``audit_scenario``
+    Canonical named scenarios and the determinism audit over them
+    (:mod:`repro.faults.audit`).
+``reconcile_energy``
+    Simulated vs. closed-form (eqs. 11, 12-13) per-request energy with
+    a tolerance verdict (:mod:`repro.analysis.energy_reconcile`).
+
+Import paths deeper than :mod:`repro.api` (and the :mod:`repro`
+package root re-exports) are internal and may move between releases;
+this module's names are the compatibility surface.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.energy_reconcile import reconcile_energy
+from repro.analysis.metrics import RunReport
+from repro.config import SimulationConfig
+from repro.core.network import PReCinCtNetwork
+from repro.faults.audit import audit_scenario, run_scenario
+from repro.obs.observers import Observers
+
+__all__ = [
+    "Observers",
+    "PReCinCtNetwork",
+    "RunReport",
+    "SimulationConfig",
+    "audit_scenario",
+    "reconcile_energy",
+    "run_scenario",
+]

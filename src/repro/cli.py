@@ -11,7 +11,9 @@ any Python::
     python -m repro audit --seed 42 --scenario default
     python -m repro trace --slowest 5 --export-chrome trace.json
     python -m repro trace diff baseline.jsonl faulted.jsonl
-    python -m repro profile --duration 400
+    python -m repro profile --duration 400 --json profile.json
+    python -m repro energy --scenario baseline --tolerance 0.5
+    python -m repro run --anomaly 'mac.backlog_max_s>5' --bundle-dir bundles/
 
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it can
 do is equally available through the library API.
@@ -79,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--export-trace", default=None, metavar="PATH",
                        help="write the (sampled) traces as JSON lines "
                             "(implies tracing)")
+    run_p.add_argument(
+        "--anomaly", action="append", default=[], metavar="RULE",
+        help="anomaly trigger on a telemetry series, e.g. "
+             "'mac.backlog_max_s>0.5' or 'cache.hit_ratio<0.1'; fires a "
+             "flight-recorder bundle when breached (implies telemetry); "
+             "repeatable",
+    )
+    run_p.add_argument(
+        "--bundle-dir", default=None, metavar="DIR",
+        help="arm the flight recorder: crashes and anomaly triggers "
+             "leave forensic bundles in DIR",
+    )
     run_p.add_argument("--report", action="store_true",
                        help="print the full multi-section run summary")
     run_p.add_argument(
@@ -203,6 +217,23 @@ def build_parser() -> argparse.ArgumentParser:
              "per-section self-times",
     )
     _add_workload_args(pr_p)
+    pr_p.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the per-section profile as JSON "
+                           "(the perf-gate baseline format)")
+
+    en_p = sub.add_parser(
+        "energy",
+        help="reconcile simulated per-request energy against the "
+             "paper's closed forms (eqs. 11, 12-13)",
+    )
+    en_p.add_argument("--scenario", default="baseline",
+                      choices=sorted(SCENARIOS))
+    en_p.add_argument("--seed", type=int, default=42)
+    en_p.add_argument("--tolerance", type=float, default=0.5,
+                      help="pass while |simulated/eq.13 - 1| <= TOLERANCE "
+                           "(default 0.5; the closed form is mean-field)")
+    en_p.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the reconciliation report as JSON")
 
     return parser
 
@@ -261,6 +292,8 @@ def _workload_config(args: argparse.Namespace, **overrides) -> SimulationConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs.observers import Observers
+
     tracing = (
         args.trace_sample_rate is not None or args.export_trace is not None
     )
@@ -272,12 +305,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             enable_tracing=tracing, trace_sample_rate=sample_rate
         ) if tracing else {}
         cfg = _run_config(args, **trace_overrides)
+        obs_opts = {}
+        if args.anomaly:
+            from repro.obs.anomaly import AnomalyRule
+
+            for spec in args.anomaly:
+                AnomalyRule.parse(spec)
+            obs_opts.update(telemetry=True, anomaly_rules=tuple(args.anomaly))
+        if args.bundle_dir is not None:
+            obs_opts.update(recorder_dir=args.bundle_dir)
     except (ValueError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"running: {cfg.n_nodes} nodes, {cfg.n_regions} regions, "
           f"{cfg.duration:.0f}s virtual time ...", file=sys.stderr)
-    net = PReCinCtNetwork(cfg)
+    observers = Observers(**obs_opts) if obs_opts else None
+    net = PReCinCtNetwork(cfg, observers=observers)
     report = net.run()
     if args.report:
         from repro.analysis.summary import describe_run
@@ -298,6 +341,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.export_trace is not None:
             n = net.tracer.to_jsonl(args.export_trace)
             print(f"  wrote {n} trace(s) to {args.export_trace}")
+    if net.anomaly is not None:
+        print(f"  anomaly triggers: {net.anomaly.triggers} firing(s) "
+              f"across {len(net.anomaly.rules)} rule(s)")
+        for t, spec, value in net.anomaly.fired:
+            print(f"    t={t:8.1f}s  {spec}  (observed {value:g})")
+    if net.recorder is not None and net.recorder.manifests:
+        print(f"  flight recorder: {len(net.recorder.manifests)} "
+              f"bundle(s) under {args.bundle_dir}")
     if args.map:
         from repro.analysis.topology_map import render_topology
 
@@ -456,6 +507,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.observers import Observers
+
     try:
         cfg = _workload_config(args, enable_tracing=True)
     except (ValueError, TypeError) as exc:
@@ -463,7 +516,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     print(f"running traced: {cfg.n_nodes} nodes, {cfg.duration:.0f}s "
           f"virtual time ...", file=sys.stderr)
-    net = PReCinCtNetwork(cfg)
+    # Energy attribution rides along (digest-neutral) so every span
+    # breakdown shows joules next to seconds.
+    net = PReCinCtNetwork(cfg, observers=Observers(energy_attribution=True))
     report = net.run()
     tracer = net.tracer
     print(report.row())
@@ -486,6 +541,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     ):
         print(f"  {name:<20} {count:>9}")
 
+    attributor = net.energy_attribution
+    if attributor is not None and attributor.charges_seen:
+        print(f"attributed energy: {attributor.total() / 1e6:.3f} J "
+              f"({attributor.charges_seen} radio charges)")
+        for kind, uj in attributor.by_span().items():
+            print(f"  {kind:<20} {uj / 1e6:>9.3f} J")
+
     traces = tracer.completed(args.outcome)
     if args.outcome is not None:
         print(f"filter outcome={args.outcome!r}: {len(traces)} trace(s)")
@@ -500,10 +562,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         phases = trace.phase_breakdown()
         for span in phases:
             tags = f"  [{','.join(span.fault_tags)}]" if span.fault_tags else ""
-            print(f"      {span.name:<16} {span.duration:8.4f}s{tags}")
+            print(f"      {span.name:<16} {span.duration:8.4f}s "
+                  f"{span.energy_uj / 1000.0:10.3f} mJ{tags}")
         if phases:
             print(f"      {'(phase sum)':<16} "
-                  f"{sum(s.duration for s in phases):8.4f}s")
+                  f"{sum(s.duration for s in phases):8.4f}s "
+                  f"{sum(s.energy_uj for s in phases) / 1000.0:10.3f} mJ")
 
     if args.export_jsonl is not None:
         n = tracer.to_jsonl(args.export_jsonl)
@@ -550,7 +614,47 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     ):
         print(f"{name:<24} {rec['calls']:>10,.0f} "
               f"{rec['total_s']:>9.3f}s {rec['self_s']:>9.3f}s")
+    if args.json is not None:
+        import json
+
+        from repro.obs.export import export_path
+
+        payload = {
+            "sections": {name: dict(rec) for name, rec in profile.items()},
+            "self_total_s": sum(rec["self_s"] for rec in profile.values()),
+        }
+        path = export_path(args.json)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote profile to {args.json}")
     return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.analysis.energy_reconcile import reconcile_energy
+
+    try:
+        result = reconcile_energy(
+            args.scenario, seed=args.seed, tolerance=args.tolerance
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.json is not None:
+        import json
+
+        from repro.obs.export import export_path
+
+        path = export_path(args.json)
+        path.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote reconciliation report to {args.json}")
+    return 0 if result.passed else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -571,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "energy":
+        return _cmd_energy(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

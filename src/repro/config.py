@@ -205,6 +205,15 @@ class SimulationConfig:
     flight_recorder_events: int = 200
     #: Maximum bundles written per run.
     flight_recorder_max_dumps: int = 5
+    #: Attribute every energy-ledger debit to its span kind, request
+    #: phase, sender region, and packet category
+    #: (:class:`repro.energy.attribution.EnergyAttributor`).  Pure
+    #: observer: enabling it never changes run digests.
+    enable_energy_attribution: bool = False
+    #: Telemetry threshold rules ("series>threshold" / "series<threshold"
+    #: strings) that fire flight-recorder bundles mid-run; requires
+    #: ``enable_telemetry`` (the rules are checked per sampled row).
+    anomaly_rules: tuple = ()
 
     # -- fault injection (repro.faults) ----------------------------------------------------------
     #: Declarative fault schedule (message drop/duplicate/delay/reorder,
@@ -270,6 +279,16 @@ class SimulationConfig:
             raise ValueError(
                 f"flight_recorder_max_dumps must be positive, got {self.flight_recorder_max_dumps}"
             )
+        if self.anomaly_rules:
+            if not self.enable_telemetry:
+                raise ValueError(
+                    "anomaly_rules require enable_telemetry=True "
+                    "(rules are checked against sampled telemetry rows)"
+                )
+            from repro.obs.anomaly import AnomalyRule
+
+            for spec in self.anomaly_rules:
+                AnomalyRule.parse(spec)  # raises ValueError on bad specs
 
     @property
     def cache_capacity_bytes_hint(self) -> float:

@@ -69,7 +69,7 @@ __all__ = ["PReCinCtNetwork"]
 class PReCinCtNetwork:
     """A fully wired PReCinCt simulation."""
 
-    def __init__(self, cfg: SimulationConfig):
+    def __init__(self, cfg: SimulationConfig, observers=None):
         self.cfg = cfg
         self.sim = Simulator()
         self.rngs = RngRegistry(cfg.seed)
@@ -147,54 +147,41 @@ class PReCinCtNetwork:
             self.faults = None
 
         # -- observability (pure observers: digest-neutral by design) --------
-        self.tracer = None
-        self.telemetry = None
-        self.profiler = None
-        self.recorder = None
-        if cfg.enable_tracing:
-            from repro.obs import Tracer, make_sampler
+        # All observer wiring lives in Observers.attach; the engine
+        # just accepts a composition object (or builds the default one,
+        # which inherits every setting from cfg).
+        from repro.obs.observers import Observers
 
-            # The head-based sampler draws from the dedicated "obs"
-            # stream: stream independence keeps any sample rate
-            # digest-neutral.  Rate 1.0 installs no sampler at all.
-            sampler = make_sampler(
-                cfg.trace_sample_rate, rng=self.rngs.get("obs")
-            )
-            self.tracer = Tracer(lambda: self.sim.now, sampler=sampler)
-            self.stack.router.on_hop = self._on_gpsr_hop
-            if self.faults is not None and self.faults.injector is not None:
-                self.faults.injector.observer = self._on_fault_fired
-        if cfg.enable_profiling:
-            from repro.obs import PerfProfiler
-
-            self.profiler = PerfProfiler()
-            self.sim.profile = self.profiler
-            self.stack.router.profile = self.profiler
-            self.stack.flooder.profile = self.profiler
-            for peer in self.peers:
-                peer.cache.profile = self.profiler
-        if cfg.enable_telemetry:
-            from repro.obs import TelemetrySampler
-
-            self.telemetry = TelemetrySampler(
-                self.sim,
-                self._telemetry_snapshot,
-                cfg.telemetry_interval,
-                until=cfg.duration,
-            )
-        if cfg.flight_recorder_dir is not None:
-            from repro.obs import FlightRecorder
-
-            self.recorder = FlightRecorder(
-                cfg.flight_recorder_dir,
-                eventlog=self.log,
-                tracer=self.tracer,
-                telemetry=self.telemetry.table if self.telemetry else None,
-                last_events=cfg.flight_recorder_events,
-                max_dumps=cfg.flight_recorder_max_dumps,
-            )
-            self.sim.on_crash = self._on_engine_crash
+        if observers is None:
+            observers = Observers()
+        self.observers = observers.attach(self)
         self._ran = False
+
+    # -- observer delegation (the Observers object owns the instances) ------
+
+    @property
+    def tracer(self):
+        return self.observers.tracer
+
+    @property
+    def telemetry(self):
+        return self.observers.telemetry
+
+    @property
+    def profiler(self):
+        return self.observers.profiler
+
+    @property
+    def recorder(self):
+        return self.observers.recorder
+
+    @property
+    def energy_attribution(self):
+        return self.observers.energy
+
+    @property
+    def anomaly(self):
+        return self.observers.anomaly
 
     def trace(self, kind: str, **fields) -> None:
         """Record a protocol event when event logging is enabled."""
@@ -247,9 +234,19 @@ class PReCinCtNetwork:
         for rid in sorted(occupancy):
             out[f"cache.region{rid}.bytes"] = occupancy[rid]
             out[f"cache.region{rid}.entries"] = entries[rid]
+        if occupancy:
+            # max/mean per-region cache fill; 1.0 = perfectly balanced.
+            mean = sum(occupancy.values()) / len(occupancy)
+            out["region.occupancy_imbalance"] = (
+                max(occupancy.values()) / mean if mean > 0 else 0.0
+            )
         backlog = self.network.mac_backlog()
         out["mac.backlog_total_s"] = float(backlog.sum())
         out["mac.backlog_max_s"] = float(backlog.max()) if backlog.size else 0.0
+        out["energy.total_uj"] = self.network.energy.total()
+        out["energy.uj_per_request"] = (
+            out["energy.total_uj"] / max(1, self.metrics.requests_issued)
+        )
         return out
 
     # -- factories ------------------------------------------------------------

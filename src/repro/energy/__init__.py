@@ -12,6 +12,7 @@ WaveLAN measurements from Feeney & Nilsson, INFOCOM 2001, in uJ with
 accounting during a simulation run.
 """
 
+from repro.energy.attribution import EnergyAttributor
 from repro.energy.model import EnergyLedger, EnergyParams
 
-__all__ = ["EnergyLedger", "EnergyParams"]
+__all__ = ["EnergyAttributor", "EnergyLedger", "EnergyParams"]

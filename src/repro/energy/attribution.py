@@ -1,0 +1,227 @@
+"""Span-level energy attribution: joules per span, phase, region, component.
+
+The :class:`~repro.energy.model.EnergyLedger` books every radio debit
+(eqs. 3-10) but only knows *which node* paid; the
+:class:`~repro.obs.tracer.Tracer` knows *which request phase* was in
+flight but only counts seconds.  The :class:`EnergyAttributor` joins
+the two: the radio brackets each transmission with
+:meth:`open`/:meth:`close`, the ledger notifies the attributor of every
+charge booked inside the bracket, and the attributor classifies the
+packet into a **span kind** (``gpsr.hop``, ``gpsr.beacon``,
+``region.flood``, ``consistency.push``, ``consistency.poll``,
+``failover.replica``) and credits the joules to
+
+* the span kind (``energy.span.*``),
+* the request phase currently open on the packet's trace
+  (``energy.phase.*``; ``unattributed`` when no trace carries the
+  request id),
+* the sender's region (``energy.region.*``),
+* the scheme component, i.e. the packet category
+  (``energy.component.*``), and
+* the ledger traffic class (``energy.class.*``),
+
+and — when the packet belongs to a live trace — accumulates them onto
+the open phase span's ``energy_uj`` so exported traces show joules next
+to seconds.
+
+Determinism
+-----------
+The attributor is a pure observer: it books into its own private
+:class:`~repro.sim.trace.StatRegistry` (never the simulation's), draws
+no RNG, schedules nothing, and reads only plain attributes
+(``packet.payload``, ``peer.current_region_id``).  Golden-digest tests
+assert a run with attribution enabled fingerprints byte-identically to
+one without.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.trace import StatRegistry
+
+__all__ = ["EnergyAttributor", "classify_packet"]
+
+#: Span kind charged when a packet cannot be classified.
+OTHER = "other"
+#: Phase bucket for charges on packets with no live trace.
+UNATTRIBUTED = "unattributed"
+
+
+def classify_packet(packet) -> str:
+    """Map a radio packet to the span kind that caused it.
+
+    Classification order mirrors the scheme's layering: the application
+    message class wins (consistency and failover traffic keep their
+    meaning whether they travel by flood or by GPSR), then the routing
+    envelope (flooding vs. geographic forwarding), then the raw packet
+    category (beacons travel bare).
+    """
+    from repro.core.messages import (
+        HomeRequest,
+        Invalidation,
+        Poll,
+        PollReply,
+        UpdatePush,
+    )
+    from repro.routing.envelopes import FloodEnvelope, GeoEnvelope
+
+    payload = packet.payload
+    inner = getattr(payload, "inner", payload)
+    if isinstance(inner, (UpdatePush, Invalidation)):
+        return "consistency.push"
+    if isinstance(inner, (Poll, PollReply)):
+        return "consistency.poll"
+    if isinstance(inner, HomeRequest) and getattr(inner, "to_replica", False):
+        return "failover.replica"
+    if isinstance(payload, FloodEnvelope):
+        return "region.flood"
+    if isinstance(payload, GeoEnvelope):
+        return "gpsr.hop"
+    if packet.category == "beacon":
+        return "gpsr.beacon"
+    return OTHER
+
+
+class EnergyAttributor:
+    """Accumulates ledger charges per span kind, phase, region, component.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when present,
+        charges on packets carrying a live request id land on the
+        trace's open phase span (``Span.energy_uj``).
+    region_of:
+        Optional ``node_id -> region_id`` callable (a pure attribute
+        read); ``None`` books all regional energy under region ``-1``.
+    """
+
+    def __init__(self, tracer=None,
+                 region_of: Optional[Callable[[int], int]] = None):
+        self.tracer = tracer
+        self.region_of = region_of
+        #: Observer-local registry — NOT the simulation's.  Keys are
+        #: registered in PROTOCOL.md §9 under the ``energy.*`` prefixes.
+        self.stats = StatRegistry()
+        self._open_packet = None
+        self._open_sender: int = -1
+        self._open_kind: str = OTHER
+        self._open_trace = None
+        self.charges_seen = 0
+
+    # -- transmission bracketing (called by the radio) -------------------
+
+    def open(self, packet, sender: int) -> None:
+        """Begin attributing: every ledger charge until :meth:`close`
+        belongs to ``packet`` as transmitted by ``sender``."""
+        self._open_packet = packet
+        self._open_sender = sender
+        self._open_kind = classify_packet(packet)
+        trace = None
+        if self.tracer is not None:
+            payload = packet.payload
+            inner = getattr(payload, "inner", payload)
+            rid = getattr(inner, "request_id", None)
+            trace = self.tracer.lookup(rid)
+        self._open_trace = trace
+
+    def close(self) -> None:
+        """End the current transmission bracket."""
+        self._open_packet = None
+        self._open_sender = -1
+        self._open_kind = OTHER
+        self._open_trace = None
+
+    # -- EnergyLedger observer protocol ----------------------------------
+
+    def on_charge(self, category: str, cost_uj: float) -> None:
+        """Book one ledger debit (``cost_uj`` > 0, in microjoules)."""
+        self.charges_seen += 1
+        stats = self.stats
+        stats.count("energy.attributed_uj", cost_uj)
+        stats.count(f"energy.class.{category}", cost_uj)
+        stats.count(f"energy.span.{self._open_kind}", cost_uj)
+        packet = self._open_packet
+        component = packet.category if packet is not None else OTHER
+        stats.count(f"energy.component.{component}", cost_uj)
+        if category != "discard":
+            # The eq. 3-10 basis: send + receive costs only.  Discard
+            # (promiscuous overhearing) is the ledger's extension beyond
+            # the paper's analysis, so the closed-form reconciliation
+            # (`repro energy`) compares against this accumulator.
+            stats.count(f"energy.modeled.{component}", cost_uj)
+        region = -1
+        if self.region_of is not None and self._open_sender >= 0:
+            region = self.region_of(self._open_sender)
+        stats.count(f"energy.region.{region}", cost_uj)
+        trace = self._open_trace
+        if trace is not None and trace.open_phase is not None:
+            span = trace.open_phase
+            span.energy_uj += cost_uj
+            phase = span.name.split(".", 1)[1]
+        else:
+            phase = UNATTRIBUTED
+        stats.count(f"energy.phase.{phase}", cost_uj)
+
+    def on_reset(self) -> None:
+        """Ledger reset (warm-up end): drop accumulated attribution.
+
+        A fresh registry, not ``reset()``: reset zeroes counters but
+        keeps their keys, and breakdowns should not report span kinds
+        that carry no post-warm-up energy.
+        """
+        self.stats = StatRegistry()
+        self.charges_seen = 0
+
+    # -- reporting -------------------------------------------------------
+
+    def total(self) -> float:
+        """Total attributed energy (uJ) — equals the ledger total."""
+        return self.stats.value("energy.attributed_uj")
+
+    def _breakdown(self, prefix: str) -> Dict[str, float]:
+        out = {
+            name[len(prefix):]: value
+            for name, value in self.stats.counters().items()
+            if name.startswith(prefix)
+        }
+        return dict(sorted(out.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def by_span(self) -> Dict[str, float]:
+        """uJ per span kind (``gpsr.hop``, ``region.flood``, ...)."""
+        return self._breakdown("energy.span.")
+
+    def by_phase(self) -> Dict[str, float]:
+        """uJ per request phase (``local``, ``home``, ``replica``,
+        ``poll``, ``unattributed``)."""
+        return self._breakdown("energy.phase.")
+
+    def by_region(self) -> Dict[str, float]:
+        """uJ per sender region id (as strings; ``-1`` = unknown)."""
+        return self._breakdown("energy.region.")
+
+    def by_component(self) -> Dict[str, float]:
+        """uJ per packet category (``request``, ``response``, ...)."""
+        return self._breakdown("energy.component.")
+
+    def by_component_modeled(self) -> Dict[str, float]:
+        """uJ per packet category on the eq. 3-10 basis (no discard)."""
+        return self._breakdown("energy.modeled.")
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-friendly summary of all attribution dimensions."""
+        return {
+            "attributed_uj": self.total(),
+            "charges": self.charges_seen,
+            "by_span": self.by_span(),
+            "by_phase": self.by_phase(),
+            "by_region": self.by_region(),
+            "by_component": self.by_component(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnergyAttributor(attributed={self.total():.1f} uJ, "
+            f"charges={self.charges_seen})"
+        )

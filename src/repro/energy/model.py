@@ -87,6 +87,13 @@ class EnergyLedger:
     report both total consumption and its breakdown.  Mutating methods
     take either a single node id or an integer array of node ids (for
     broadcast receive charging the whole neighborhood at once).
+
+    An optional :attr:`observer` (duck-typed; see
+    :class:`repro.energy.attribution.EnergyAttributor`) is notified of
+    every debit with ``on_charge(category, cost_uj)`` and of
+    :meth:`reset` with ``on_reset()``.  The observer sees aggregate
+    costs only — it cannot perturb the per-node arrays — so attribution
+    stays a pure read of the same charges the ledger books.
     """
 
     CATEGORIES = ("p2p_send", "p2p_recv", "bcast_send", "bcast_recv", "discard")
@@ -99,22 +106,32 @@ class EnergyLedger:
         self._by_category: Dict[str, np.ndarray] = {
             cat: np.zeros(n_nodes) for cat in self.CATEGORIES
         }
+        #: Charge observer with ``on_charge(category, cost_uj)`` /
+        #: ``on_reset()`` callbacks; ``None`` disables notification.
+        self.observer = None
 
     # -- charging --------------------------------------------------------
+
+    def _notify(self, category: str, cost: float) -> None:
+        if self.observer is not None and cost != 0.0:
+            self.observer.on_charge(category, cost)
 
     def charge_p2p_send(self, node: int, size: float) -> float:
         cost = self.params.p2p_send(size)
         self._by_category["p2p_send"][node] += cost
+        self._notify("p2p_send", cost)
         return cost
 
     def charge_p2p_recv(self, node: int, size: float) -> float:
         cost = self.params.p2p_recv(size)
         self._by_category["p2p_recv"][node] += cost
+        self._notify("p2p_recv", cost)
         return cost
 
     def charge_bcast_send(self, node: int, size: float) -> float:
         cost = self.params.bcast_send(size)
         self._by_category["bcast_send"][node] += cost
+        self._notify("bcast_send", cost)
         return cost
 
     def charge_bcast_recv(self, nodes: np.ndarray, size: float) -> float:
@@ -124,7 +141,9 @@ class EnergyLedger:
             return 0.0
         cost = self.params.bcast_recv(size)
         np.add.at(self._by_category["bcast_recv"], nodes, cost)
-        return cost * nodes.size
+        total = cost * nodes.size
+        self._notify("bcast_recv", total)
+        return total
 
     def charge_discard(self, nodes: np.ndarray, size: float) -> float:
         """Charge overhearing nodes for a p2p message not addressed to them."""
@@ -133,7 +152,9 @@ class EnergyLedger:
             return 0.0
         cost = self.params.discard(size)
         np.add.at(self._by_category["discard"], nodes, cost)
-        return cost * nodes.size
+        total = cost * nodes.size
+        self._notify("discard", total)
+        return total
 
     # -- reporting -------------------------------------------------------
 
@@ -159,6 +180,59 @@ class EnergyLedger:
         """Zero all ledgers (e.g. after a warm-up phase)."""
         for arr in self._by_category.values():
             arr.fill(0.0)
+        if self.observer is not None:
+            self.observer.on_reset()
+
+    # -- exporters -------------------------------------------------------
+
+    def to_jsonl(self, path) -> int:
+        """Write a header record plus one record per node; returns the count.
+
+        The header carries the model coefficients; each node record
+        carries its per-category debits in microjoules.
+        """
+        from dataclasses import asdict
+
+        from repro.obs.export import write_jsonl
+
+        def records():
+            yield {
+                "record": "header",
+                "n_nodes": self.n_nodes,
+                "params": asdict(self.params),
+                "total_uj": self.total(),
+            }
+            for node in range(self.n_nodes):
+                yield {
+                    "record": "node",
+                    "node": node,
+                    **{cat: float(self._by_category[cat][node])
+                       for cat in self.CATEGORIES},
+                }
+
+        return write_jsonl(path, records())
+
+    @staticmethod
+    def from_jsonl(path) -> "EnergyLedger":
+        """Rebuild a ledger from a :meth:`to_jsonl` export."""
+        from repro.obs.export import read_jsonl
+
+        records = read_jsonl(path)
+        if not records or records[0].get("record") != "header":
+            raise ValueError(f"{path}: missing energy-ledger header record")
+        header = records[0]
+        ledger = EnergyLedger(
+            int(header["n_nodes"]), EnergyParams(**header["params"])
+        )
+        for record in records[1:]:
+            if record.get("record") != "node":
+                raise ValueError(
+                    f"{path}: unexpected record kind {record.get('record')!r}"
+                )
+            node = int(record["node"])
+            for cat in EnergyLedger.CATEGORIES:
+                ledger._by_category[cat][node] = float(record.get(cat, 0.0))
+        return ledger
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EnergyLedger(n={self.n_nodes}, total={self.total():.1f} uJ)"

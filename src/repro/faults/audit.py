@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -216,13 +217,18 @@ def canonical_scenario_name(name: str) -> str:
     return _ALIASES.get(name, name)
 
 
+#: Sentinel distinguishing "keyword not passed" from a legacy default.
+_DEPRECATED = object()
+
+
 def run_scenario(
     name: str,
     seed: int = 42,
     check_invariants: bool = True,
-    observability: bool = False,
-    bundle_dir: Optional[Union[str, Path]] = None,
-    trace_sample_rate: Optional[float] = None,
+    observers=None,
+    observability=_DEPRECATED,
+    bundle_dir=_DEPRECATED,
+    trace_sample_rate=_DEPRECATED,
 ):
     """Run one audited scenario; return ``(net, report, RunDigest)``.
 
@@ -230,15 +236,18 @@ def run_scenario(
     :class:`~repro.faults.injectors.FaultController`) and once after the
     run, unless ``check_invariants`` is False.
 
-    ``observability=True`` enables tracing, telemetry, and profiling on
-    top of the scenario config; by construction (the observers are
-    digest-neutral) this must not change either digest — the test suite
-    verifies exactly that.  ``trace_sample_rate`` enables tracing with
-    head-based sampling at the given rate, which is equally
-    digest-neutral (the sampler draws only from the dedicated observer
-    stream) — the golden tests assert that too.  ``bundle_dir`` arms the
-    flight recorder so in-run incidents (invariant violations, failed
-    requests, engine crashes) leave forensic bundles there.
+    ``observers`` is a :class:`repro.obs.Observers` composition — the
+    one surface for attaching tracing, telemetry, profiling, the flight
+    recorder, energy attribution, and anomaly triggers.  All observers
+    are digest-neutral by construction, so any combination must leave
+    both digests byte-identical — the test suite verifies exactly that.
+
+    .. deprecated::
+        The ``observability=``, ``bundle_dir=``, and
+        ``trace_sample_rate=`` keywords are deprecated in favor of
+        ``observers=Observers(...)`` and will be removed next release;
+        they still work (emitting :class:`DeprecationWarning`) and map
+        to the equivalent Observers options.
     """
     try:
         factory = SCENARIOS[name]
@@ -247,22 +256,36 @@ def run_scenario(
             f"unknown audit scenario {name!r} (expected one of {sorted(SCENARIOS)})"
         ) from None
     from repro.core.network import PReCinCtNetwork
+    from repro.obs.observers import Observers
+
+    legacy = {
+        "observability": observability,
+        "bundle_dir": bundle_dir,
+        "trace_sample_rate": trace_sample_rate,
+    }
+    used = [k for k, v in legacy.items() if v is not _DEPRECATED]
+    if used:
+        warnings.warn(
+            f"run_scenario keyword(s) {', '.join(sorted(used))} are "
+            f"deprecated; pass observers=repro.obs.Observers(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if observers is not None:
+            raise TypeError(
+                "pass either observers= or the deprecated keywords, not both"
+            )
+        options: Dict[str, Any] = {}
+        if observability is not _DEPRECATED and observability:
+            options.update(tracing=True, telemetry=True, profiling=True)
+        if trace_sample_rate is not _DEPRECATED and trace_sample_rate is not None:
+            options.update(tracing=True, trace_sample_rate=trace_sample_rate)
+        if bundle_dir is not _DEPRECATED and bundle_dir is not None:
+            options.update(recorder_dir=str(bundle_dir))
+        observers = Observers(**options)
 
     cfg = factory(seed)
-    if observability:
-        cfg = replace(
-            cfg,
-            enable_tracing=True,
-            enable_telemetry=True,
-            enable_profiling=True,
-        )
-    if trace_sample_rate is not None:
-        cfg = replace(
-            cfg, enable_tracing=True, trace_sample_rate=trace_sample_rate
-        )
-    if bundle_dir is not None:
-        cfg = replace(cfg, flight_recorder_dir=str(bundle_dir))
-    net = PReCinCtNetwork(cfg)
+    net = PReCinCtNetwork(cfg, observers=observers)
     if net.faults is not None:
         net.faults.check_invariants = check_invariants
     report = net.run()
@@ -339,12 +362,18 @@ def audit_scenario(
         raise ValueError(f"an audit needs at least 2 runs, got {runs}")
     canonical = canonical_scenario_name(name)
     result = AuditResult(scenario=canonical, seed=seed)
+    from repro.obs.observers import Observers
+
     want_tracing = trace_path is not None or baseline_trace is not None
     net = None
     for index in range(runs):
+        options: Dict[str, Any] = {}
+        if bundle_dir is not None:
+            options["recorder_dir"] = str(bundle_dir)
+        if want_tracing and index == runs - 1:
+            options.update(tracing=True, telemetry=True, profiling=True)
         net, _, digest = run_scenario(
-            name, seed, bundle_dir=bundle_dir,
-            observability=want_tracing and index == runs - 1,
+            name, seed, observers=Observers(**options)
         )
         result.digests.append(digest)
     if not result.deterministic:

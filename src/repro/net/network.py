@@ -219,8 +219,15 @@ class WirelessNetwork:
             return np.empty(0, dtype=np.intp)
         receivers = self.neighbors_of(src)
         size = packet.size_bytes
-        self.energy.charge_bcast_send(src, size)
-        self.energy.charge_bcast_recv(receivers, size)
+        attributor = self.energy.observer
+        if attributor is not None:
+            attributor.open(packet, sender=src)
+        try:
+            self.energy.charge_bcast_send(src, size)
+            self.energy.charge_bcast_recv(receivers, size)
+        finally:
+            if attributor is not None:
+                attributor.close()
         self.stats.count("net.broadcast_sent")
         self.stats.count("net.bytes_sent", size)
         self.stats.count(f"net.sent.{packet.category}")
@@ -250,36 +257,43 @@ class WirelessNetwork:
         """
         if not self.alive[src]:
             return False
-        size = packet.size_bytes
-        self.energy.charge_p2p_send(src, size)
-        self.stats.count("net.unicast_sent")
-        self.stats.count("net.bytes_sent", size)
-        self.stats.count(f"net.sent.{packet.category}")
-        neighbors = self.neighbors_of(src)
-        overhearers = neighbors[neighbors != dst]
-        self.energy.charge_discard(overhearers, size)
-        if not self.alive[dst]:
-            self.stats.count("net.unicast_dropped")
-            self.stats.count("net.unicast_dropped.dead")
-            return False
-        if dst not in neighbors:
-            self.stats.count("net.unicast_dropped")
-            self.stats.count("net.unicast_dropped.out_of_range")
-            return False
-        deliveries = self._filter_delivery(src, dst, packet)
-        delay = self._hop_delay(src, size)
-        if deliveries is None:
-            # Silent channel loss: the frame was transmitted (energy and
-            # channel time spent, receiver discards a corrupt frame) but
-            # never reaches the application.
-            self.stats.count("net.unicast_dropped")
-            self.stats.count("net.unicast_dropped.injected")
-            self.energy.charge_discard(np.asarray([dst]), size)
+        attributor = self.energy.observer
+        if attributor is not None:
+            attributor.open(packet, sender=src)
+        try:
+            size = packet.size_bytes
+            self.energy.charge_p2p_send(src, size)
+            self.stats.count("net.unicast_sent")
+            self.stats.count("net.bytes_sent", size)
+            self.stats.count(f"net.sent.{packet.category}")
+            neighbors = self.neighbors_of(src)
+            overhearers = neighbors[neighbors != dst]
+            self.energy.charge_discard(overhearers, size)
+            if not self.alive[dst]:
+                self.stats.count("net.unicast_dropped")
+                self.stats.count("net.unicast_dropped.dead")
+                return False
+            if dst not in neighbors:
+                self.stats.count("net.unicast_dropped")
+                self.stats.count("net.unicast_dropped.out_of_range")
+                return False
+            deliveries = self._filter_delivery(src, dst, packet)
+            delay = self._hop_delay(src, size)
+            if deliveries is None:
+                # Silent channel loss: the frame was transmitted (energy
+                # and channel time spent, receiver discards a corrupt
+                # frame) but never reaches the application.
+                self.stats.count("net.unicast_dropped")
+                self.stats.count("net.unicast_dropped.injected")
+                self.energy.charge_discard(np.asarray([dst]), size)
+                return True
+            self.energy.charge_p2p_recv(dst, size)
+            for extra in deliveries:
+                self.sim.schedule(delay + extra, self._deliver, dst, packet)
             return True
-        self.energy.charge_p2p_recv(dst, size)
-        for extra in deliveries:
-            self.sim.schedule(delay + extra, self._deliver, dst, packet)
-        return True
+        finally:
+            if attributor is not None:
+                attributor.close()
 
     def _filter_delivery(self, src: int, dst: int, packet: Packet):
         """Apply the fault filter to one would-be delivery.

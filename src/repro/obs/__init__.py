@@ -16,11 +16,21 @@ golden event-log and report digests byte-identical):
 * :mod:`repro.obs.profile` — wall-clock self-time of engine/routing/
   cache hot paths (reported, but excluded from digests);
 * :mod:`repro.obs.recorder` — flight-recorder bundles dumped on
-  invariant violations, unserved requests, and audit divergence.
+  invariant violations, unserved requests, and audit divergence;
+* :mod:`repro.obs.anomaly` — declarative telemetry threshold rules
+  that fire flight-recorder bundles mid-run;
+* :mod:`repro.obs.observers` — the :class:`Observers` composition
+  object: one ``attach(engine)`` wiring for every pillar (including
+  the span-level :class:`~repro.energy.attribution.EnergyAttributor`);
+* :mod:`repro.obs.export` — the shared ``to_jsonl``/``from_jsonl``
+  path handling all exporters delegate to.
 
 See ``docs/OBSERVABILITY.md`` for the user-facing tour.
 """
 
+from repro.obs.anomaly import AnomalyRule, AnomalyWatcher
+from repro.obs.export import export_path, read_jsonl, write_jsonl
+from repro.obs.observers import Observers
 from repro.obs.profile import NULL_PROFILER, PerfProfiler
 from repro.obs.recorder import FlightRecorder
 from repro.obs.sampling import TraceSampler, make_sampler
@@ -29,8 +39,11 @@ from repro.obs.tracediff import TraceDiff, diff_files, diff_traces, load_traces
 from repro.obs.tracer import Span, Trace, Tracer
 
 __all__ = [
+    "AnomalyRule",
+    "AnomalyWatcher",
     "FlightRecorder",
     "NULL_PROFILER",
+    "Observers",
     "PerfProfiler",
     "Span",
     "Trace",
@@ -41,6 +54,9 @@ __all__ = [
     "TelemetryTable",
     "diff_files",
     "diff_traces",
+    "export_path",
     "load_traces",
     "make_sampler",
+    "read_jsonl",
+    "write_jsonl",
 ]

@@ -60,6 +60,9 @@ class FlightRecorder:
         self.last_events = last_events
         self.max_dumps = max_dumps
         self.dumps_written: List[Path] = []
+        #: Manifest dicts of the written bundles, in write order (the
+        #: in-memory mirror of each bundle's ``manifest.json``).
+        self.manifests: List[Dict[str, Any]] = []
         self.triggers = 0
 
     def dump(
@@ -118,8 +121,33 @@ class FlightRecorder:
         with open(bundle / "manifest.json", "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True, default=repr)
 
+        manifest["bundle"] = str(bundle)
+        self.manifests.append(manifest)
         self.dumps_written.append(bundle)
         return bundle
+
+    # -- exporters --------------------------------------------------------
+
+    def to_jsonl(self, path) -> int:
+        """Write one record per bundle manifest; returns the count.
+
+        The single-file index of a run's incidents — greppable without
+        walking the bundle tree.
+        """
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(path, self.manifests)
+
+    @staticmethod
+    def from_jsonl(path) -> List[Dict[str, Any]]:
+        """Read a manifest index back as a list of manifest dicts."""
+        from repro.obs.export import read_jsonl
+
+        records = read_jsonl(path)
+        for i, record in enumerate(records, start=1):
+            if "reason" not in record or "contents" not in record:
+                raise ValueError(f"{path}:{i}: not a bundle manifest record")
+        return records
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -124,6 +124,47 @@ class TelemetryTable:
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh))
 
+    def to_jsonl(self, path) -> int:
+        """Write a header record plus one *decoded* row per sample.
+
+        The JSONL form trades the delta-encoded compactness of
+        :meth:`to_json` for line-per-row greppability, matching the
+        ``to_jsonl``/``from_jsonl`` pair every observer exporter
+        shares; returns the record count.
+        """
+        from repro.obs.export import write_jsonl
+
+        def records():
+            yield {"record": "header", "columns": self.columns,
+                   "rows": self._rows}
+            for row in self.rows():
+                yield {"record": "row", **row}
+
+        return write_jsonl(path, records())
+
+    @classmethod
+    def from_jsonl(cls, path) -> "TelemetryTable":
+        """Rebuild a table from a :meth:`to_jsonl` export.
+
+        Round-trips the decoded values (re-encoding the deltas on
+        append), so ``rows()`` matches the source table.
+        """
+        from repro.obs.export import read_jsonl
+
+        records = read_jsonl(path)
+        if not records or records[0].get("record") != "header":
+            raise ValueError(f"{path}: missing telemetry header record")
+        table = cls()
+        for record in records[1:]:
+            if record.get("record") != "row":
+                raise ValueError(
+                    f"{path}: unexpected record kind {record.get('record')!r}"
+                )
+            values = {k: float(v) for k, v in record.items()
+                      if k not in ("record", "t")}
+            table.append(float(record["t"]), values)
+        return table
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TelemetryTable(rows={self._rows}, columns={len(self._deltas)})"
 
@@ -145,6 +186,13 @@ class TelemetrySampler:
         Stop rescheduling once the next sample would land past this
         time (defaults to unbounded; ``Simulator.run(until=...)`` also
         bounds it naturally).
+    on_sample:
+        Optional ``(t, values)`` callback fired after each row is
+        appended — the anomaly-trigger hook
+        (:class:`~repro.obs.anomaly.AnomalyWatcher.check`).  Like
+        ``collect`` it must be a pure observer of simulation state
+        (dumping a flight-recorder bundle is fine: that writes to the
+        filesystem, not the simulation).
     """
 
     def __init__(
@@ -153,6 +201,7 @@ class TelemetrySampler:
         collect: Callable[[], Dict[str, float]],
         interval: float,
         until: Optional[float] = None,
+        on_sample: Optional[Callable[[float, Dict[str, float]], None]] = None,
     ):
         if interval <= 0:
             raise ValueError(f"telemetry interval must be positive: {interval!r}")
@@ -160,6 +209,7 @@ class TelemetrySampler:
         self._collect = collect
         self.interval = float(interval)
         self.until = until
+        self.on_sample = on_sample
         self.table = TelemetryTable()
         self.samples_taken = 0
 
@@ -168,8 +218,11 @@ class TelemetrySampler:
         self._sim.schedule(self.interval, self._tick)
 
     def _tick(self) -> None:
-        self.table.append(self._sim.now, self._collect())
+        values = self._collect()
+        self.table.append(self._sim.now, values)
         self.samples_taken += 1
+        if self.on_sample is not None:
+            self.on_sample(self._sim.now, values)
         next_time = self._sim.now + self.interval
         if self.until is None or next_time <= self.until:
             self._sim.schedule(self.interval, self._tick)

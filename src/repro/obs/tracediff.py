@@ -111,6 +111,22 @@ def span_counts(trace: Dict[str, Any]) -> Counter:
     )
 
 
+def phase_energy(trace: Dict[str, Any]) -> Dict[str, float]:
+    """Attributed energy (uJ) per ``phase.*`` span name.
+
+    Exports from runs without energy attribution carry no
+    ``energy_uj`` keys and map to ``{}`` — diffing them yields all-zero
+    energy deltas, never an error.
+    """
+    out: Dict[str, float] = {}
+    for span in trace.get("spans") or ():
+        name = span.get("name", "")
+        energy = span.get("energy_uj")
+        if name.startswith("phase.") and energy:
+            out[name] = out.get(name, 0.0) + float(energy)
+    return out
+
+
 def phase_fault_tags(trace: Dict[str, Any]) -> Dict[str, Counter]:
     """Fault tags per phase span name (``{phase: Counter(kind)}``)."""
     out: Dict[str, Counter] = {}
@@ -158,6 +174,16 @@ class AlignedPair:
         return {
             name: pb.get(name, 0.0) - pa.get(name, 0.0)
             for name in set(pa) | set(pb)
+        }
+
+    def energy_deltas(self) -> Dict[str, float]:
+        """Per-phase attributed-energy deltas in uJ (B − A), over the
+        union of phases carrying energy on either side."""
+        ea = phase_energy(self.a)
+        eb = phase_energy(self.b)
+        return {
+            name: eb.get(name, 0.0) - ea.get(name, 0.0)
+            for name in set(ea) | set(eb)
         }
 
 
@@ -233,6 +259,11 @@ class PhaseDelta:
     mean_delta: float = 0.0
     p95_delta: float = 0.0
     max_delta: float = 0.0
+    #: Attributed-energy deltas (uJ, B − A); zero when neither export
+    #: carries span energy (runs without energy attribution).
+    total_energy_delta: float = 0.0
+    mean_energy_delta: float = 0.0
+    p95_energy_delta: float = 0.0
     #: Fault kinds tagged on this phase's spans, per side.
     faults_a: Dict[str, int] = field(default_factory=dict)
     faults_b: Dict[str, int] = field(default_factory=dict)
@@ -240,6 +271,10 @@ class PhaseDelta:
     @property
     def rank_key(self) -> Tuple[float, float]:
         return (self.p95_delta, self.total_delta)
+
+    @property
+    def energy_rank_key(self) -> Tuple[float, float]:
+        return (self.p95_energy_delta, self.total_energy_delta)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -251,6 +286,9 @@ class PhaseDelta:
             "mean_delta_s": _round(self.mean_delta),
             "p95_delta_s": _round(self.p95_delta),
             "max_delta_s": _round(self.max_delta),
+            "total_energy_delta_uj": _round(self.total_energy_delta),
+            "mean_energy_delta_uj": _round(self.mean_energy_delta),
+            "p95_energy_delta_uj": _round(self.p95_energy_delta),
             "faults_a": dict(sorted(self.faults_a.items())),
             "faults_b": dict(sorted(self.faults_b.items())),
         }
@@ -280,6 +318,8 @@ class TraceDiff:
     latency_mean: float
     latency_p95: float
     latency_max: float
+    #: Total attributed-energy delta (uJ, B − A) over aligned traces.
+    energy_total: float
     #: Ranked worst-first by (p95 delta, total delta).
     phases: List[PhaseDelta]
     #: name → (count in A, count in B) over *aligned* traces only, so
@@ -301,6 +341,26 @@ class TraceDiff:
             if p.p95_delta > min_delta or p.total_delta > min_delta
         ]
 
+    def energy_ranked(self) -> List[PhaseDelta]:
+        """Phases ranked worst energy regression first (uJ deltas)."""
+        def order(stat: PhaseDelta) -> Tuple[float, float, int, str]:
+            known = (PHASE_ORDER.index(stat.phase)
+                     if stat.phase in PHASE_ORDER else len(PHASE_ORDER))
+            return (-stat.p95_energy_delta, -stat.total_energy_delta,
+                    known, stat.phase)
+
+        return sorted(self.phases, key=order)
+
+    def energy_regressions(
+        self, min_delta: float = DELTA_EPS
+    ) -> List[PhaseDelta]:
+        """Phases whose attributed energy worsened beyond noise."""
+        return [
+            p for p in self.energy_ranked()
+            if p.p95_energy_delta > min_delta
+            or p.total_energy_delta > min_delta
+        ]
+
     @property
     def is_zero(self) -> bool:
         """True iff the two runs are request-for-request identical."""
@@ -310,8 +370,10 @@ class TraceDiff:
             and not self.outcome_shifts
             and all(p.total_delta == 0.0 and p.max_delta == 0.0
                     and p.regressed == 0 and p.improved == 0
+                    and p.total_energy_delta == 0.0
                     for p in self.phases)
             and self.latency_total == 0.0
+            and self.energy_total == 0.0
             and self.spans_a == self.spans_b
         )
 
@@ -341,6 +403,21 @@ class TraceDiff:
                 "p95_delta_s": _round(self.latency_p95),
                 "max_delta_s": _round(self.latency_max),
             },
+            "energy": {
+                "total_delta_uj": _round(self.energy_total),
+                "ranked_phases": [
+                    {
+                        "phase": p.phase,
+                        "total_energy_delta_uj":
+                            _round(p.total_energy_delta),
+                        "mean_energy_delta_uj":
+                            _round(p.mean_energy_delta),
+                        "p95_energy_delta_uj":
+                            _round(p.p95_energy_delta),
+                    }
+                    for p in self.energy_ranked()
+                ],
+            },
             "phases": [p.to_dict() for p in self.phases],
             "spans": {
                 name: {
@@ -358,9 +435,9 @@ class TraceDiff:
         }
 
     def write_json(self, path) -> None:
-        out = Path(path).expanduser()
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(
+        from repro.obs.export import export_path
+
+        export_path(path).write_text(
             json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
@@ -401,6 +478,20 @@ class TraceDiff:
                 f"regressed {p.regressed}/{p.pairs}"
                 + (f"  faults[{self.label_b}]: {faults}" if faults else ""))
 
+        energy_phases = [p for p in self.energy_ranked()
+                         if p.total_energy_delta != 0.0
+                         or p.p95_energy_delta != 0.0]
+        if energy_phases:
+            add("")
+            add(f"attributed energy delta: total "
+                f"{self.energy_total:+.1f} uJ")
+            add("ranked phases by energy (worst p95 delta first):")
+            for rank, p in enumerate(energy_phases, start=1):
+                add(f"  {rank}. {p.phase:<15} "
+                    f"p95 {p.p95_energy_delta:+11.1f} uJ  "
+                    f"mean {p.mean_energy_delta:+11.1f} uJ  "
+                    f"total {p.total_energy_delta:+11.1f} uJ")
+
         deltas = {n: d for n, d in self.span_deltas().items() if d != 0}
         if deltas:
             add("")
@@ -433,6 +524,7 @@ def diff_traces(
 
     latency_deltas = [p.latency_delta for p in pairs]
     per_phase_deltas: Dict[str, List[float]] = {}
+    per_phase_energy: Dict[str, List[float]] = {}
     phase_stats: Dict[str, PhaseDelta] = {}
     spans_a: Counter = Counter()
     spans_b: Counter = Counter()
@@ -462,6 +554,10 @@ def diff_traces(
             elif delta < -DELTA_EPS:
                 stat.improved += 1
             per_phase_deltas.setdefault(phase, []).append(delta)
+        for phase, delta in pair.energy_deltas().items():
+            stat = phase_stats.setdefault(phase, PhaseDelta(phase))
+            stat.total_energy_delta += delta
+            per_phase_energy.setdefault(phase, []).append(delta)
         for phase, tags in tags_a.items():
             stat = phase_stats.setdefault(phase, PhaseDelta(phase))
             for kind, n in tags.items():
@@ -477,6 +573,10 @@ def diff_traces(
         stat.mean_delta = stat.total_delta / aligned if aligned else 0.0
         stat.p95_delta = _p95(deltas)
         stat.max_delta = max(deltas, default=0.0)
+        stat.mean_energy_delta = (
+            stat.total_energy_delta / aligned if aligned else 0.0
+        )
+        stat.p95_energy_delta = _p95(per_phase_energy.get(phase, []))
 
     # Rank worst-first; protocol phase order breaks exact ties so the
     # report (and its golden fixture) is fully deterministic.
@@ -499,6 +599,9 @@ def diff_traces(
         latency_mean=sum(latency_deltas) / aligned if aligned else 0.0,
         latency_p95=_p95(latency_deltas),
         latency_max=max(latency_deltas, default=0.0),
+        energy_total=sum(
+            stat.total_energy_delta for stat in phase_stats.values()
+        ),
         phases=ranked,
         spans_a=dict(sorted(spans_a.items())),
         spans_b=dict(sorted(spans_b.items())),

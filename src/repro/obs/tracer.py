@@ -66,7 +66,8 @@ SPANS_PER_TRACE_CAP = 512
 class Span:
     """One typed span: an interval (or instant) of simulated time."""
 
-    __slots__ = ("name", "start", "end", "peer", "attrs", "fault_tags")
+    __slots__ = ("name", "start", "end", "peer", "attrs", "fault_tags",
+                 "energy_uj")
 
     def __init__(self, name: str, start: float, peer: int = -1, **attrs: Any):
         self.name = name
@@ -75,6 +76,10 @@ class Span:
         self.peer = peer
         self.attrs = attrs
         self.fault_tags: List[str] = []
+        #: Radio energy attributed to this span (uJ); filled by the
+        #: :class:`~repro.energy.attribution.EnergyAttributor` on phase
+        #: spans when energy attribution is enabled, else stays 0.
+        self.energy_uj: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -91,6 +96,8 @@ class Span:
             out["attrs"] = dict(self.attrs)
         if self.fault_tags:
             out["faults"] = list(self.fault_tags)
+        if self.energy_uj:
+            out["energy_uj"] = self.energy_uj
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -319,17 +326,10 @@ class Tracer:
 
     @staticmethod
     def _export_path(path) -> Path:
-        """Normalize an export target: expand ``~``, create parents.
+        """Normalize an export target (see :func:`repro.obs.export.export_path`)."""
+        from repro.obs.export import export_path
 
-        Accepts str or ``os.PathLike``; a bare filename resolves against
-        the working directory.  Rejects directories early with a clear
-        error instead of failing inside ``open``.
-        """
-        out = Path(path).expanduser()
-        if out.is_dir():
-            raise IsADirectoryError(f"export path is a directory: {out}")
-        out.parent.mkdir(parents=True, exist_ok=True)
-        return out
+        return export_path(path)
 
     def to_jsonl(self, path) -> int:
         """Write one JSON object per completed trace; returns the count.
@@ -338,14 +338,26 @@ class Tracer:
         or trace-free run still exports, and an empty export diffs
         cleanly against any other).
         """
-        n = 0
-        with open(self._export_path(path), "w", encoding="utf-8") as fh:
-            for trace in self._completed:
-                fh.write(json.dumps(trace.to_dict(), sort_keys=True,
-                                    default=repr))
-                fh.write("\n")
-                n += 1
-        return n
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(path, (t.to_dict() for t in self._completed))
+
+    @staticmethod
+    def from_jsonl(path) -> List[Dict[str, Any]]:
+        """Read a :meth:`to_jsonl` export back as trace dicts.
+
+        Returns plain dicts (the exported schema), which is what the
+        differ (:mod:`repro.obs.tracediff`) consumes; a line that is
+        not a JSON trace record raises ``ValueError`` with its
+        ``path:lineno``.
+        """
+        from repro.obs.export import read_jsonl
+
+        records = read_jsonl(path)
+        for i, record in enumerate(records, start=1):
+            if "trace_id" not in record or "spans" not in record:
+                raise ValueError(f"{path}:{i}: not a JSON trace record")
+        return records
 
     def to_chrome_trace(self, path) -> int:
         """Export the Chrome trace-event format (Perfetto-viewable).

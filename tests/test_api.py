@@ -1,0 +1,42 @@
+"""The stable public facade (repro.api)."""
+
+import repro.api as api
+
+
+class TestFacade:
+    def test_exports(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_names_are_canonical_objects(self):
+        from repro.analysis.energy_reconcile import reconcile_energy
+        from repro.analysis.metrics import RunReport
+        from repro.config import SimulationConfig
+        from repro.core.network import PReCinCtNetwork
+        from repro.faults.audit import audit_scenario, run_scenario
+        from repro.obs.observers import Observers
+
+        assert api.SimulationConfig is SimulationConfig
+        assert api.PReCinCtNetwork is PReCinCtNetwork
+        assert api.RunReport is RunReport
+        assert api.Observers is Observers
+        assert api.run_scenario is run_scenario
+        assert api.audit_scenario is audit_scenario
+        assert api.reconcile_energy is reconcile_energy
+
+    def test_readme_quickstart_imports(self):
+        """The imports the README quickstart uses must keep working."""
+        from repro.api import (  # noqa: F401
+            Observers,
+            PReCinCtNetwork,
+            SimulationConfig,
+        )
+
+    def test_facade_runs_a_simulation(self):
+        from tests.conftest import tiny_config
+
+        cfg = tiny_config(duration=40.0, warmup=10.0)
+        observers = api.Observers(energy_attribution=True)
+        report = api.PReCinCtNetwork(cfg, observers=observers).run()
+        assert isinstance(report, api.RunReport)
+        assert observers.energy.total() > 0

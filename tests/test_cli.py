@@ -243,3 +243,87 @@ class TestAuditCommand:
 
     def test_refresh_golden_requires_path(self, capsys):
         assert main(["audit", "--refresh-golden"]) == 2
+
+
+class TestEnergyAndAnomalyParser:
+    def test_energy_defaults(self):
+        args = build_parser().parse_args(["energy"])
+        assert args.command == "energy"
+        assert args.scenario == "baseline"
+        assert args.seed == 42
+        assert args.tolerance == 0.5
+        assert args.json is None
+
+    def test_energy_options(self):
+        args = build_parser().parse_args(
+            ["energy", "--scenario", "faulted", "--seed", "7",
+             "--tolerance", "0.25", "--json", "out.json"]
+        )
+        assert args.scenario == "faulted"
+        assert args.seed == 7
+        assert args.tolerance == 0.25
+        assert args.json == "out.json"
+
+    def test_energy_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["energy", "--scenario", "nope"])
+
+    def test_run_anomaly_flags_repeatable(self):
+        args = build_parser().parse_args(
+            ["run", "--anomaly", "mac.backlog_max_s>5",
+             "--anomaly", "cache.hit_ratio<0.1",
+             "--bundle-dir", "bundles"]
+        )
+        assert args.anomaly == ["mac.backlog_max_s>5", "cache.hit_ratio<0.1"]
+        assert args.bundle_dir == "bundles"
+
+    def test_run_anomaly_defaults_empty(self):
+        args = build_parser().parse_args(["run"])
+        assert args.anomaly == []
+        assert args.bundle_dir is None
+
+    def test_profile_json_flag(self):
+        args = build_parser().parse_args(["profile", "--json", "prof.json"])
+        assert args.json == "prof.json"
+
+    def test_run_rejects_bad_anomaly_rule(self, capsys):
+        rc = main(["run", "--anomaly", "not a rule"])
+        assert rc == 2
+        assert "anomaly" in capsys.readouterr().err
+
+
+class TestEnergyAndAnomalyExecution:
+    def test_run_with_anomaly_prints_triggers(self, capsys, tmp_path):
+        rc = main(
+            ["run", "--nodes", "20", "--duration", "60", "--warmup", "10",
+             "--items", "60", "--anomaly", "energy.total_uj>1",
+             "--bundle-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "anomaly triggers:" in out
+        assert "energy.total_uj>1" in out
+        assert "flight recorder:" in out
+
+    def test_profile_json_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "prof.json"
+        rc = main(
+            ["profile", "--nodes", "16", "--duration", "60", "--warmup",
+             "10", "--items", "60", "--json", str(path)]
+        )
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert "engine.dispatch" in payload["sections"]
+        assert payload["self_total_s"] >= 0
+
+    def test_trace_shows_joules(self, capsys):
+        rc = main(
+            ["trace", "--nodes", "16", "--duration", "60", "--warmup", "10",
+             "--items", "60", "--slowest", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "attributed energy:" in out
+        assert " mJ" in out

@@ -1,0 +1,71 @@
+"""Closed-form energy reconciliation (repro.analysis.energy_reconcile)."""
+
+import pytest
+
+from repro.analysis.energy_reconcile import (
+    EnergyReconciliation,
+    reconcile_energy,
+)
+
+
+def _result(simulated=1500.0, precinct=1000.0, **overrides):
+    defaults = dict(
+        scenario="baseline", seed=42, n_nodes=20, n_regions=4,
+        requests_issued=100, simulated_uj=simulated, precinct_uj=precinct,
+        flooding_uj=3000.0, tolerance=0.5,
+    )
+    defaults.update(overrides)
+    return EnergyReconciliation(**defaults)
+
+
+class TestVerdict:
+    def test_ratio_and_pass(self):
+        r = _result(simulated=1400.0, precinct=1000.0)
+        assert r.ratio == pytest.approx(1.4)
+        assert r.passed
+
+    def test_fail_beyond_tolerance(self):
+        high = _result(simulated=1600.0, precinct=1000.0)
+        assert not high.passed
+        low = _result(simulated=400.0, precinct=1000.0)
+        assert not low.passed
+
+    def test_zero_precinct_guard(self):
+        r = _result(precinct=0.0)
+        assert r.ratio == 0.0
+        assert not r.passed
+
+    def test_boundary_is_inclusive(self):
+        assert _result(simulated=1500.0, precinct=1000.0).passed
+
+    def test_to_dict_and_render(self):
+        r = _result(simulated=1600.0,
+                    by_span={"gpsr.hop": 900.0}, by_phase={"home": 800.0})
+        payload = r.to_dict()
+        assert payload["verdict"] == "FAIL"
+        assert payload["by_span_uj"] == {"gpsr.hop": 900.0}
+        text = _result(simulated=1400.0).render()
+        assert "verdict     PASS" in text
+        assert "eq. 12-13" in text and "eq. 11" in text
+
+
+class TestReconcileRun:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            reconcile_energy("no-such-scenario")
+
+    def test_baseline_reconciles_within_tolerance(self):
+        """The acceptance gate: the simulated per-request joules under
+        the analysis's assumptions agree with eq. 12-13 within the
+        mean-field tolerance, and flooding (eq. 11) costs more than
+        PReCinCt (the paper's headline comparison)."""
+        result = reconcile_energy("baseline", seed=42)
+        assert result.requests_issued > 0
+        assert result.simulated_uj > 0
+        assert result.passed, result.render()
+        assert result.flooding_uj > result.precinct_uj
+        # Span-level context rides along: routed hops dominate floods
+        # on the no-cache request path.
+        assert result.by_span.get("gpsr.hop", 0.0) > \
+            result.by_span.get("region.flood", 0.0)
+        assert result.to_dict()["verdict"] == "PASS"

@@ -100,10 +100,12 @@ class TestRecorderWiring:
 
     def test_recorder_is_digest_neutral(self, tmp_path):
         from repro.faults.audit import run_scenario
+        from repro.obs import Observers
 
         _, _, plain = run_scenario("faulted", seed=42)
         net, _, armed = run_scenario(
-            "faulted", seed=42, bundle_dir=tmp_path / "bundles"
+            "faulted", seed=42,
+            observers=Observers(recorder_dir=tmp_path / "bundles"),
         )
         assert armed.eventlog == plain.eventlog
         assert armed.report == plain.report

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.faults.audit import CANONICAL_SCENARIOS, load_golden, run_scenario
+from repro.obs import Observers
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "digests.json"
 
@@ -58,7 +59,8 @@ def test_trace_sampling_is_digest_neutral(rate, golden):
     """
     entry = golden["baseline"]
     net, _, digest = run_scenario(
-        "baseline", seed=int(entry["seed"]), trace_sample_rate=rate
+        "baseline", seed=int(entry["seed"]),
+        observers=Observers(tracing=True, trace_sample_rate=rate),
     )
     assert digest.eventlog == entry["eventlog"], (
         f"trace_sample_rate={rate} perturbed the event-log digest: "
@@ -70,3 +72,35 @@ def test_trace_sampling_is_digest_neutral(rate, golden):
         assert len(net.tracer) == 0 and net.tracer.sampled_out > 0
     elif rate == 1.0:
         assert len(net.tracer) > 0 and net.tracer.sampled_out == 0
+
+
+@pytest.mark.parametrize("scenario", ["baseline", "faulted"])
+def test_energy_attribution_and_anomalies_are_digest_neutral(
+    scenario, golden, tmp_path
+):
+    """Acceptance: a run with span-level energy attribution AND armed
+    anomaly triggers fingerprints byte-identically to the bare golden
+    run.  The attributor books into its own registry and the watcher
+    reads only collected telemetry rows, so neither may perturb the
+    simulation."""
+    entry = golden[scenario]
+    observers = Observers(
+        tracing=True,
+        telemetry=True,
+        energy_attribution=True,
+        recorder_dir=tmp_path / "bundles",
+        anomaly_rules=("energy.total_uj>1.0", "mac.backlog_max_s>1e12"),
+    )
+    net, _, digest = run_scenario(
+        scenario, seed=int(entry["seed"]), observers=observers
+    )
+    assert digest.eventlog == entry["eventlog"], (
+        f"energy attribution / anomaly triggers perturbed the event-log "
+        f"digest of {scenario!r}"
+    )
+    assert digest.report == entry["report"]
+    # ... and the observers actually observed something.
+    assert observers.energy.charges_seen > 0
+    assert observers.energy.total() > 0
+    assert observers.anomaly.triggers > 0  # total energy exceeds 1 uJ
+

@@ -1,0 +1,131 @@
+"""The Observers composition object (repro.obs.observers) and the
+deprecation path for the legacy run_scenario observability keywords.
+
+This file is the ONLY test module allowed to exercise the deprecated
+``observability=`` / ``bundle_dir=`` / ``trace_sample_rate=`` keywords.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.network import PReCinCtNetwork
+from repro.obs.observers import Observers
+from tests.conftest import tiny_config
+
+
+def _quick_cfg(**overrides):
+    return tiny_config(duration=40.0, warmup=10.0, **overrides)
+
+
+class TestObserversAttach:
+    def test_default_observers_inherit_config_flags(self):
+        cfg = _quick_cfg(enable_tracing=True, enable_telemetry=True)
+        net = PReCinCtNetwork(cfg)
+        assert net.tracer is not None
+        assert net.telemetry is not None
+        assert net.profiler is None
+        assert net.energy_attribution is None
+        assert net.anomaly is None
+
+    def test_explicit_options_override_config(self):
+        cfg = _quick_cfg(enable_tracing=True)
+        observers = Observers(tracing=False, energy_attribution=True)
+        net = PReCinCtNetwork(cfg, observers=observers)
+        assert net.tracer is None
+        assert net.energy_attribution is observers.energy
+        assert net.network.energy.observer is observers.energy
+
+    def test_engine_properties_mirror_observers(self):
+        observers = Observers(tracing=True, telemetry=True, profiling=True,
+                              energy_attribution=True)
+        net = PReCinCtNetwork(_quick_cfg(), observers=observers)
+        assert net.tracer is observers.tracer
+        assert net.telemetry is observers.telemetry
+        assert net.profiler is observers.profiler
+        assert net.energy_attribution is observers.energy
+
+    def test_anomaly_rules_wire_telemetry_to_recorder(self, tmp_path):
+        observers = Observers(telemetry=True, recorder_dir=tmp_path,
+                              anomaly_rules=("mac.backlog_max_s>1e12",))
+        net = PReCinCtNetwork(_quick_cfg(), observers=observers)
+        assert observers.anomaly is not None
+        assert observers.anomaly.recorder is observers.recorder
+        assert observers.telemetry.on_sample == observers.anomaly.check
+        net.run()
+        assert observers.anomaly.triggers == 0  # absurd threshold
+
+    def test_reattach_raises(self):
+        observers = Observers()
+        PReCinCtNetwork(_quick_cfg(), observers=observers)
+        with pytest.raises(RuntimeError, match="already attached"):
+            PReCinCtNetwork(_quick_cfg(), observers=observers)
+
+    def test_attached_property(self):
+        observers = Observers()
+        assert not observers.attached
+        PReCinCtNetwork(_quick_cfg(), observers=observers)
+        assert observers.attached
+
+
+class TestDeprecatedRunScenarioKeywords:
+    """The one-release compatibility shim for the old duck-typed API."""
+
+    def test_observability_keyword_warns_and_still_works(self):
+        from repro.faults.audit import run_scenario
+
+        with pytest.warns(DeprecationWarning, match="observability"):
+            net, report, digest = run_scenario(
+                "baseline", seed=42, observability=True
+            )
+        assert net.tracer is not None
+        assert net.telemetry is not None
+        assert net.profiler is not None
+
+    def test_legacy_equivalent_to_observers(self):
+        from repro.faults.audit import run_scenario
+
+        with pytest.warns(DeprecationWarning):
+            _, _, legacy_digest = run_scenario(
+                "baseline", seed=42, observability=True
+            )
+        _, _, new_digest = run_scenario(
+            "baseline", seed=42,
+            observers=Observers(tracing=True, telemetry=True, profiling=True),
+        )
+        assert legacy_digest.eventlog == new_digest.eventlog
+        assert legacy_digest.report == new_digest.report
+
+    def test_trace_sample_rate_keyword_maps(self):
+        from repro.faults.audit import run_scenario
+
+        with pytest.warns(DeprecationWarning, match="trace_sample_rate"):
+            net, _, _ = run_scenario(
+                "baseline", seed=42, trace_sample_rate=0.5
+            )
+        assert net.tracer is not None
+        assert net.tracer.sampled_out > 0
+
+    def test_bundle_dir_keyword_maps(self, tmp_path):
+        from repro.faults.audit import run_scenario
+
+        with pytest.warns(DeprecationWarning, match="bundle_dir"):
+            net, _, _ = run_scenario(
+                "baseline", seed=42, bundle_dir=tmp_path / "bundles"
+            )
+        assert net.recorder is not None
+
+    def test_mixing_old_and_new_raises(self):
+        from repro.faults.audit import run_scenario
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="not both"):
+                run_scenario("baseline", seed=42, observability=True,
+                             observers=Observers())
+
+    def test_new_path_does_not_warn(self):
+        from repro.faults.audit import run_scenario
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_scenario("baseline", seed=42, observers=Observers())

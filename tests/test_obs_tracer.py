@@ -180,9 +180,12 @@ class TestTracedRuns:
 
     def test_observability_is_digest_neutral_on_faulted_scenario(self):
         """Acceptance: tracing+telemetry+profiling never change digests."""
+        from repro.obs import Observers
+
         _, _, plain = run_scenario("faulted", seed=42)
         net, report, observed = run_scenario(
-            "faulted", seed=42, observability=True
+            "faulted", seed=42,
+            observers=Observers(tracing=True, telemetry=True, profiling=True),
         )
         assert observed.eventlog == plain.eventlog
         assert observed.report == plain.report

@@ -12,10 +12,14 @@ with::
     PYTHONPATH=src python - <<'EOF'
     import json
     from pathlib import Path
-    from repro.faults.audit import run_scenario
+    from repro.api import Observers, run_scenario
     from repro.obs.tracediff import diff_traces
-    net_a, _, _ = run_scenario("baseline", seed=42, observability=True)
-    net_b, _, _ = run_scenario("faulted", seed=42, observability=True)
+    net_a, _, _ = run_scenario(
+        "baseline", seed=42,
+        observers=Observers(tracing=True, energy_attribution=True))
+    net_b, _, _ = run_scenario(
+        "faulted", seed=42,
+        observers=Observers(tracing=True, energy_attribution=True))
     diff = diff_traces([t.to_dict() for t in net_a.tracer],
                        [t.to_dict() for t in net_b.tracer],
                        label_a="baseline", label_b="faulted")
@@ -34,7 +38,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.faults.audit import run_scenario
-from repro.obs import Tracer
+from repro.obs import Observers, Tracer
 from repro.obs.tracediff import (
     align_traces,
     diff_files,
@@ -324,8 +328,14 @@ class TestAuditTraceFlags:
 @pytest.fixture(scope="module")
 def golden_scenario_traces():
     """Traced exports of the bare and faulted golden scenarios (seed 42)."""
-    net_a, _, _ = run_scenario("baseline", seed=42, observability=True)
-    net_b, _, _ = run_scenario("faulted", seed=42, observability=True)
+    net_a, _, _ = run_scenario(
+        "baseline", seed=42,
+        observers=Observers(tracing=True, energy_attribution=True),
+    )
+    net_b, _, _ = run_scenario(
+        "faulted", seed=42,
+        observers=Observers(tracing=True, energy_attribution=True),
+    )
     return (
         [t.to_dict() for t in net_a.tracer],
         [t.to_dict() for t in net_b.tracer],
