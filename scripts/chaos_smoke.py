@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Chaos smoke gate: the same hostile run, resilience off vs. on.
+
+Runs one seed under a composite drop + crash + partition fault plan
+twice — first with the request-resilience layer off (seed behaviour),
+then with it on — and enforces the two acceptance properties of
+``docs/RESILIENCE.md``:
+
+* the resilient run's request **failure rate is strictly lower**, and
+* its **p95 failure-detection latency** (time from issue to the
+  requester declaring a request failed) is strictly lower.
+
+Artifacts (for CI upload):
+
+* ``chaos-report.json`` — per-mode metrics and the verdict;
+* ``chaos-off-trace.jsonl`` / ``chaos-on-trace.jsonl`` — full request
+  traces of both runs;
+* ``chaos-trace-diff.json`` — the ranked per-phase trace diff between
+  them (``repro.obs.tracediff``).
+
+Exit status 0 when both properties hold, 1 on a regression.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [--seed N] [--out-dir D]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import SimulationConfig
+from repro.core.network import PReCinCtNetwork
+from repro.faults.plan import FaultPlan
+from repro.obs import Observers
+from repro.obs.tracediff import diff_files
+
+#: The hostile composite plan: a long response-drop regime, a mid-run
+#: multi-node crash, and a partition window isolating region 0.
+HOSTILE_PLAN = (
+    "drop:p=0.35,category=response,start=30",
+    "crash:at=50,nodes=3+11+19",
+    "partition:start=90,end=150,regions=0",
+)
+
+
+def p95(values) -> float:
+    """p95 by the nearest-rank method; 0.0 for an empty sample."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(0.95 * len(ordered)) - 1))
+    return float(ordered[rank])
+
+
+def run_mode(resilience: bool, seed: int, duration: float, trace_path: Path):
+    cfg = SimulationConfig(
+        n_nodes=30,
+        n_items=80,
+        width=600.0,
+        height=600.0,
+        duration=duration,
+        warmup=20.0,
+        t_request=10.0,
+        t_update=40.0,
+        seed=seed,
+        consistency="push-adaptive-pull",
+        fault_plan=FaultPlan.parse(HOSTILE_PLAN),
+        resilience=resilience,
+    )
+    net = PReCinCtNetwork(cfg, observers=Observers(tracing=True))
+    net.run()
+    net.tracer.to_jsonl(trace_path)
+
+    issued = net.metrics.requests_issued
+    failed = net.metrics.requests_failed
+    fail_latencies = [t.latency for t in net.tracer.completed("failed")]
+    counters = net.stats.counters()
+    return {
+        "resilience": resilience,
+        "requests_issued": issued,
+        "requests_failed": failed,
+        "failure_rate": failed / issued if issued else 0.0,
+        "p95_failure_detection_latency_s": p95(fail_latencies),
+        "served_by_class": dict(net.metrics.served_by_class),
+        "resilience_counters": {
+            k: v for k, v in sorted(counters.items())
+            if k.startswith("resilience.")
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--duration", type=float, default=300.0)
+    parser.add_argument("--out-dir", type=Path, default=Path("."),
+                        help="directory for reports and trace artifacts")
+    args = parser.parse_args(argv)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    off_trace = args.out_dir / "chaos-off-trace.jsonl"
+    on_trace = args.out_dir / "chaos-on-trace.jsonl"
+    print(f"chaos smoke: seed={args.seed} duration={args.duration}s")
+    print(f"  plan: {'; '.join(HOSTILE_PLAN)}")
+    off = run_mode(False, args.seed, args.duration, off_trace)
+    on = run_mode(True, args.seed, args.duration, on_trace)
+
+    diff = diff_files(off_trace, on_trace,
+                      label_a="resilience-off", label_b="resilience-on")
+    (args.out_dir / "chaos-trace-diff.json").write_text(
+        json.dumps(diff.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+    checks = {
+        "failure_rate_strictly_lower":
+            on["failure_rate"] < off["failure_rate"],
+        "p95_failure_detection_strictly_lower":
+            on["p95_failure_detection_latency_s"]
+            < off["p95_failure_detection_latency_s"],
+    }
+    report = {
+        "seed": args.seed,
+        "duration_s": args.duration,
+        "plan": list(HOSTILE_PLAN),
+        "off": off,
+        "on": on,
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+    (args.out_dir / "chaos-report.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+
+    for mode in (off, on):
+        label = "on " if mode["resilience"] else "off"
+        print(
+            f"  resilience {label}: {mode['requests_failed']}/"
+            f"{mode['requests_issued']} failed "
+            f"(rate {mode['failure_rate']:.3f}), p95 failure detection "
+            f"{mode['p95_failure_detection_latency_s']:.3f}s"
+        )
+    for name, ok in checks.items():
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    if not report["passed"]:
+        print("chaos smoke: REGRESSION — the resilience layer did not "
+              "improve the hostile run", file=sys.stderr)
+        return 1
+    print("chaos smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

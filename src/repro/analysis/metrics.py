@@ -20,7 +20,10 @@ Serve classes
 ``local-static``  own static store;  ``local-cache``  own dynamic cache
 (possibly after a validation poll); ``regional``  another peer in the
 same region; ``home``  the key's home region; ``replica``  the replica
-region; ``intercept``  an en-route cache on the GPSR path.
+region; ``intercept``  an en-route cache on the GPSR path;
+``degraded``  the replica, reached by a circuit-breaker steer around a
+suspected home region (:mod:`repro.resilience`) — counted lazily so
+runs that never degrade report the classic class set unchanged.
 """
 
 from __future__ import annotations
@@ -63,6 +66,11 @@ SERVE_CLASSES = (
     "intercept",
 )
 
+#: Serve classes that only exist behind feature gates.  They are NOT
+#: prepopulated in ``served_by_class`` — a prepopulated zero would leak
+#: into every report digest — and only appear once actually served.
+EXTRA_SERVE_CLASSES = frozenset({"degraded"})
+
 
 class RequestMetrics:
     """Accumulates request outcomes for one simulation run."""
@@ -103,9 +111,14 @@ class RequestMetrics:
         stale: bool,
         validated: bool,
     ) -> None:
-        if serve_class not in self.served_by_class:
+        if (
+            serve_class not in self.served_by_class
+            and serve_class not in EXTRA_SERVE_CLASSES
+        ):
             raise ValueError(f"unknown serve class {serve_class!r}")
-        self.served_by_class[serve_class] += 1
+        self.served_by_class[serve_class] = (
+            self.served_by_class.get(serve_class, 0) + 1
+        )
         self.latency.add(latency)
         self.latency_quantiles.add(latency)
         self.bytes_served += size_bytes

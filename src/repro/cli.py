@@ -8,6 +8,7 @@ any Python::
     python -m repro fig all        # regenerate everything
     python -m repro theory --nodes 20 40 60 80
     python -m repro faults --fault 'drop:p=0.1,start=100,end=400'
+    python -m repro run --resilience --retries 2 --deadline 5
     python -m repro audit --seed 42 --scenario default
     python -m repro trace --slowest 5 --export-chrome trace.json
     python -m repro trace diff baseline.jsonl faulted.jsonl
@@ -93,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the flight recorder: crashes and anomaly triggers "
              "leave forensic bundles in DIR",
     )
+    _add_resilience_args(run_p)
     run_p.add_argument("--report", action="store_true",
                        help="print the full multi-section run summary")
     run_p.add_argument(
@@ -146,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON fault-plan file (merged after --fault rules)")
     flt_p.add_argument("--check-invariants", action="store_true",
                        help="re-check system invariants at every fault boundary")
+    _add_resilience_args(flt_p)
 
     aud_p = sub.add_parser(
         "audit",
@@ -238,6 +241,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Request-resilience knobs (run/faults subcommands)."""
+    parser.add_argument(
+        "--resilience", action="store_true",
+        help="enable the adaptive request-resilience layer: bounded "
+             "retries with backoff, per-request deadline budgets, and "
+             "per-region circuit breaking (see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry budget per remote phase (implies --resilience; "
+             "default from SimulationConfig)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="total latency budget per request in seconds; 0 disables "
+             "deadlines (implies --resilience)",
+    )
+
+
+def _resilience_overrides(args: argparse.Namespace) -> dict:
+    """Config overrides from the --resilience/--retries/--deadline flags."""
+    enabled = (
+        args.resilience or args.retries is not None or args.deadline is not None
+    )
+    if not enabled:
+        return {}
+    out = {"resilience": True}
+    if args.retries is not None:
+        out["resilience_retries"] = args.retries
+    if args.deadline is not None:
+        out["request_deadline"] = args.deadline if args.deadline > 0 else None
+    return out
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     """Simulation knobs shared by the trace/profile subcommands."""
     parser.add_argument("--nodes", type=int, default=40)
@@ -304,7 +342,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_overrides = dict(
             enable_tracing=tracing, trace_sample_rate=sample_rate
         ) if tracing else {}
-        cfg = _run_config(args, **trace_overrides)
+        cfg = _run_config(args, **trace_overrides, **_resilience_overrides(args))
         obs_opts = {}
         if args.anomaly:
             from repro.obs.anomaly import AnomalyRule
@@ -438,6 +476,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         n_items=args.items,
         seed=args.seed,
         fault_plan=plan if plan else None,
+        **_resilience_overrides(args),
     )
     print(plan.describe(), file=sys.stderr)
     print(f"running: {cfg.n_nodes} nodes, {cfg.duration:.0f}s virtual time, "
@@ -451,7 +490,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     fault_keys = sorted(
         name for name in snapshot
         if ".faults." in name or ".net.unicast_dropped" in name
-        or ".net.broadcast_dropped" in name
+        or ".net.broadcast_dropped" in name or ".resilience." in name
     )
     for name in fault_keys:
         print(f"  {name.split('count.', 1)[-1]} = {snapshot[name]:.0f}")

@@ -215,6 +215,40 @@ class SimulationConfig:
     #: ``enable_telemetry`` (the rules are checked per sampled row).
     anomaly_rules: tuple = ()
 
+    # -- request resilience (repro.resilience) ---------------------------------------------------
+    #: Enable the adaptive request-resilience layer: bounded in-phase
+    #: retries with exponential backoff, per-request deadline budgets,
+    #: and a per-region failure detector feeding a circuit breaker that
+    #: steers requests to the replica while the home region is
+    #: suspected.  Off (default) preserves the paper's one-shot
+    #: local→home→replica ladder bit-for-bit.
+    resilience: bool = False
+    #: Retry budget per remote phase (home / replica); 0 disables
+    #: in-phase retries.
+    resilience_retries: int = 1
+    #: Backoff before the first retry (s); doubles per attempt by default.
+    resilience_backoff_base: float = 0.5
+    #: Backoff multiplier per additional attempt (>= 1).
+    resilience_backoff_factor: float = 2.0
+    #: Jitter fraction in [0, 1]: each backoff delay is stretched by a
+    #: uniform factor in [1, 1 + jitter), drawn from the dedicated
+    #: "resilience" RNG stream (0 disables the draw entirely).
+    resilience_backoff_jitter: float = 0.1
+    #: Total latency budget per request (s): once spent, the request
+    #: fails fast instead of serially exhausting the remaining phase
+    #: timers.  The default sits just under the full three-phase ladder
+    #: of the default timeouts (0.25 + 3 + 3 = 6.25 s), so fail-fast
+    #: only trims the exhausted tail and never starves the replica
+    #: phase of its window.  None disables deadlines.
+    request_deadline: Optional[float] = 6.0
+    #: Home-region suspicion threshold: consecutive home-phase timeouts
+    #: needed (each +1, α-decayed on success) before the breaker trips.
+    resilience_suspect_after: float = 3.0
+    #: Suspicion decay factor on success (the α of the paper's eq. 2).
+    resilience_alpha: float = 0.5
+    #: Open-breaker cool-down before a half-open probe is let through (s).
+    resilience_breaker_cooldown: float = 10.0
+
     # -- fault injection (repro.faults) ----------------------------------------------------------
     #: Declarative fault schedule (message drop/duplicate/delay/reorder,
     #: node crash/recover, region partition/heal), replayed
@@ -278,6 +312,39 @@ class SimulationConfig:
         if self.flight_recorder_max_dumps <= 0:
             raise ValueError(
                 f"flight_recorder_max_dumps must be positive, got {self.flight_recorder_max_dumps}"
+            )
+        if self.resilience_retries < 0:
+            raise ValueError(
+                f"resilience_retries must be >= 0, got {self.resilience_retries}"
+            )
+        if self.resilience_backoff_base <= 0:
+            raise ValueError(
+                f"resilience_backoff_base must be positive, got {self.resilience_backoff_base}"
+            )
+        if self.resilience_backoff_factor < 1.0:
+            raise ValueError(
+                f"resilience_backoff_factor must be >= 1, got {self.resilience_backoff_factor}"
+            )
+        if not 0.0 <= self.resilience_backoff_jitter <= 1.0:
+            raise ValueError(
+                f"resilience_backoff_jitter must be in [0, 1], got {self.resilience_backoff_jitter}"
+            )
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ValueError(
+                f"request_deadline must be positive, got {self.request_deadline}"
+            )
+        if self.resilience_suspect_after <= 0:
+            raise ValueError(
+                f"resilience_suspect_after must be positive, got {self.resilience_suspect_after}"
+            )
+        if not 0.0 <= self.resilience_alpha < 1.0:
+            raise ValueError(
+                f"resilience_alpha must be in [0, 1), got {self.resilience_alpha}"
+            )
+        if self.resilience_breaker_cooldown <= 0:
+            raise ValueError(
+                f"resilience_breaker_cooldown must be positive, got "
+                f"{self.resilience_breaker_cooldown}"
             )
         if self.anomaly_rules:
             if not self.enable_telemetry:

@@ -74,7 +74,10 @@ class HomeRequest:
     Carries the three fields the paper specifies (§2.2): the identity of
     the requesting peer (plus its location so the response can be
     geo-routed back), the destination region, and the requested key.
-    ``to_replica`` marks the fault-tolerance retry (§2.4).
+    ``to_replica`` marks the fault-tolerance retry (§2.4); ``probe``
+    marks a half-open circuit-breaker liveness probe
+    (:mod:`repro.resilience`) — it is served exactly like a normal
+    request, but its outcome decides whether the breaker closes.
     """
 
     request_id: int
@@ -83,6 +86,7 @@ class HomeRequest:
     key: int
     target_region_id: int
     to_replica: bool = False
+    probe: bool = False
     size_bytes: float = CONTROL_BYTES
 
 

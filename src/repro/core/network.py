@@ -145,6 +145,23 @@ class PReCinCtNetwork:
             self.faults.install()
         else:
             self.faults = None
+        if cfg.resilience:
+            from repro.resilience import ResilienceManager
+
+            # The "resilience" stream is an independent SeedSequence
+            # spawn: backoff jitter can never perturb mobility, MAC,
+            # workload, or fault randomness (see obs/sampling.py for
+            # the same pattern).
+            self.resilience: Optional["ResilienceManager"] = (
+                ResilienceManager.from_config(
+                    cfg,
+                    rng=self.rngs.get("resilience"),
+                    stats=self.stats,
+                    event_hook=self.trace,
+                )
+            )
+        else:
+            self.resilience = None
 
         # -- observability (pure observers: digest-neutral by design) --------
         # All observer wiring lives in Observers.attach; the engine
@@ -240,6 +257,8 @@ class PReCinCtNetwork:
             out["region.occupancy_imbalance"] = (
                 max(occupancy.values()) / mean if mean > 0 else 0.0
             )
+        if self.resilience is not None:
+            out.update(self.resilience.telemetry())
         backlog = self.network.mac_backlog()
         out["mac.backlog_total_s"] = float(backlog.sum())
         out["mac.backlog_max_s"] = float(backlog.max()) if backlog.size else 0.0

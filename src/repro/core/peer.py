@@ -95,6 +95,17 @@ class PendingRequest:
     #: The request's :class:`repro.obs.tracer.Trace` when tracing is
     #: enabled (None otherwise; prefetches are never traced).
     trace: object = None
+    #: In-phase retries sent so far (resilience layer; reset per phase).
+    attempts: int = 0
+    #: Absolute fail-fast deadline (``issued_at + request_deadline``);
+    #: None when the resilience layer is off or for prefetches.
+    deadline: Optional[float] = None
+    #: True once the circuit breaker steered this request around its
+    #: suspected home region: a replica serve is then classed "degraded".
+    degraded: bool = False
+    #: True when this request is the half-open breaker probe for its
+    #: home region: its outcome decides whether the breaker closes.
+    probe: bool = False
 
 
 class Peer:
@@ -247,10 +258,20 @@ class Peer:
 
     # -- phase transitions -----------------------------------------------------
 
+    def _effective_timeout(self, pending: PendingRequest, timeout: float) -> float:
+        """Clamp a phase timer to the request's remaining deadline budget."""
+        if pending.deadline is None:
+            return timeout
+        return min(timeout, max(pending.deadline - self._sim.now, 0.0))
+
     def _register(self, pending: PendingRequest, timeout: float) -> None:
+        res = self.host.resilience
+        if res is not None and not pending.prefetch:
+            pending.deadline = res.deadline_for(pending.issued_at)
         self.pending[pending.request_id] = pending
         pending.timeout_handle = self._sim.schedule(
-            timeout, self._on_timeout, pending.request_id, pending.phase
+            self._effective_timeout(pending, timeout),
+            self._on_timeout, pending.request_id, pending.phase,
         )
         if pending.trace is not None:
             tracer = self.host.tracer
@@ -261,8 +282,10 @@ class Peer:
         if pending.timeout_handle is not None:
             pending.timeout_handle.cancel()
         pending.phase = phase
+        pending.attempts = 0  # the retry budget is per phase
         pending.timeout_handle = self._sim.schedule(
-            timeout, self._on_timeout, pending.request_id, phase
+            self._effective_timeout(pending, timeout),
+            self._on_timeout, pending.request_id, phase,
         )
         if pending.trace is not None:
             self.host.tracer.phase(pending.trace, phase)
@@ -271,6 +294,9 @@ class Peer:
         pending = self.pending.pop(request_id, None)
         if pending is not None and pending.timeout_handle is not None:
             pending.timeout_handle.cancel()
+        res = self.host.resilience
+        if res is not None:
+            res.note_done(request_id)
         return pending
 
     def _start_local_search(
@@ -311,11 +337,42 @@ class Peer:
                 pending.trace, "geohash.resolve", peer=self.id,
                 home=home.region_id,
             )
-        msg = HomeRequest(request_id, self.id, self._position(), key, home.region_id)
+        probe = False
+        res = self.host.resilience
+        if (
+            res is not None
+            and pending is not None
+            and not pending.prefetch
+            and self._cfg.enable_replication
+            and home.region_id != self.current_region_id
+        ):
+            verdict = res.route_home(home.region_id, self._sim.now)
+            if verdict == "steer":
+                # Breaker open: the home region is suspected — skip its
+                # timeout entirely and degrade straight to the replica.
+                pending.degraded = True
+                if pending.trace is not None:
+                    self.host.tracer.point(
+                        pending.trace, "failover.breaker_open", peer=self.id,
+                        region=home.region_id,
+                    )
+                self._go_replica(pending)
+                return
+            if verdict == "probe":
+                probe = True
+                pending.probe = True
+                if pending.trace is not None:
+                    self.host.tracer.point(
+                        pending.trace, "resilience.probe", peer=self.id,
+                        region=home.region_id,
+                    )
+        msg = HomeRequest(request_id, self.id, self._position(), key,
+                          home.region_id, probe=probe)
         if home.region_id == self.current_region_id:
             if searched_locally:
                 # The local flood already searched the home region; the
                 # data is simply absent there — go straight to the replica.
+                self.host.stats.count("request.home_skipped")
                 self._go_replica(self.pending[request_id])
             else:
                 # No-cache mode skipped the local search: the home region
@@ -332,6 +389,8 @@ class Peer:
                     region=home.vertices,
                     category=category,
                 )
+                if pending is not None and pending.phase == PHASE_HOME:
+                    self._arm_retransmit(pending, PHASE_HOME)
             return
         self.host.stack.geo_send(
             self.id,
@@ -341,6 +400,8 @@ class Peer:
             region=home.vertices,
             category=category,
         )
+        if pending is not None and pending.phase == PHASE_HOME:
+            self._arm_retransmit(pending, PHASE_HOME)
 
     def _go_replica(self, pending: PendingRequest) -> None:
         if not self._cfg.enable_replication:
@@ -356,6 +417,14 @@ class Peer:
         if replica.region_id == self.current_region_id:
             self._fail(pending)
             return
+        self._send_replica(pending, replica)
+
+    def _send_replica(self, pending: PendingRequest, replica=None) -> None:
+        """(Re-)send the replica-phase request (first shot or retry)."""
+        if replica is None:
+            replica = self.host.geohash.replica_region(
+                pending.key, self.host.table
+            )
         msg = HomeRequest(
             pending.request_id,
             self.id,
@@ -372,14 +441,22 @@ class Peer:
             region=replica.vertices,
             category="request",
         )
+        self._arm_retransmit(pending, PHASE_REPLICA)
 
-    def _fail(self, pending: PendingRequest) -> None:
+    def _fail(self, pending: PendingRequest, reason: str = "exhausted") -> None:
         self._finish(pending.request_id)
         if pending.prefetch:
             self.host.stats.count("prefetch.failed")
             return
         self.host.metrics.on_request_failed()
-        self.host.trace("request.failed", peer=self.id, key=pending.key)
+        if reason == "exhausted":
+            # The classic ladder ran out of phases.  (Field set kept
+            # exactly as before the resilience layer so resilience-off
+            # event-log digests stay bit-identical.)
+            self.host.trace("request.failed", peer=self.id, key=pending.key)
+        else:
+            self.host.trace("request.failed", peer=self.id, key=pending.key,
+                            reason=reason)
         if pending.trace is not None:
             self.host.tracer.finish(pending.trace, "failed", pending.request_id)
         recorder = self.host.recorder
@@ -388,15 +465,88 @@ class Peer:
                 "request-failed",
                 context={"peer": self.id, "key": pending.key,
                          "request_id": pending.request_id,
-                         "issued_at": pending.issued_at},
+                         "issued_at": pending.issued_at,
+                         "reason": reason},
                 trace=pending.trace,
                 sim_time=self._sim.now,
             )
 
+    def _arm_retransmit(self, pending: PendingRequest, phase: str) -> None:
+        """Arm the next hedged retransmit of the current remote phase.
+
+        Retries are *hedged*: they fire on a backoff schedule INSIDE the
+        running phase window while the phase timer keeps its classic
+        deadline-clamped schedule.  Each retransmission is a fresh
+        chance for a request (or its response) that an unreliable
+        channel ate, without ever delaying the ladder's escalation to
+        the next phase — so failure-detection latency is never worse
+        than with retries off.  Probes never retransmit (their one-shot
+        outcome is the breaker's recovery signal) and neither do
+        prefetches.
+        """
+        res = self.host.resilience
+        if res is None or pending.prefetch or pending.probe:
+            return
+        attempt = pending.attempts + 1
+        if attempt > res.retries:
+            return
+        self._sim.schedule(
+            res.retry_delay(attempt),
+            self._retransmit, pending.request_id, phase, attempt,
+        )
+
+    def _retransmit(self, request_id: int, phase: str, attempt: int) -> None:
+        """Backoff elapsed: re-send the phase request if still live."""
+        pending = self.pending.get(request_id)
+        if pending is None or pending.phase != phase:
+            return  # served, failed, or escalated while backing off
+        res = self.host.resilience
+        if res is None:
+            return
+        pending.attempts = attempt
+        self.host.stats.count("resilience.retry")
+        res.note_retry(request_id, attempt)
+        if pending.trace is not None:
+            self.host.tracer.point(
+                pending.trace, "retry.backoff", peer=self.id, phase=phase,
+                attempt=attempt,
+            )
+        if phase == PHASE_HOME:
+            # Re-sends re-consult the breaker: a hedge can become the
+            # half-open probe or be steered to the replica mid-phase.
+            # The senders arm the next retransmit of the chain.
+            self._start_home_search(
+                pending.key, pending.size_bytes, pending.issued_at, request_id
+            )
+        else:
+            self._send_replica(pending)
+
     def _on_timeout(self, request_id: int, phase: str) -> None:
         pending = self.pending.get(request_id)
         if pending is None or pending.phase != phase:
-            return  # already served or moved on
+            # Dead-handle churn: the request was served or moved phases
+            # (route-drop fail-fast) before this timer fired.
+            self.host.stats.count("request.timeout.stale")
+            return
+        now = self._sim.now
+        res = self.host.resilience
+        if phase == PHASE_HOME and res is not None and not pending.prefetch:
+            home = self.host.geohash.home_region(pending.key, self.host.table)
+            if home.region_id != self.current_region_id:
+                # One liveness datapoint for the failure detector.  A
+                # timed-out probe is the breaker's recovery verdict.
+                if pending.probe:
+                    res.on_probe_result(home.region_id, False, now)
+                else:
+                    res.on_home_timeout(home.region_id, now)
+        if (
+            res is not None
+            and pending.deadline is not None
+            and now >= pending.deadline - 1e-9
+        ):
+            self.host.stats.count("resilience.deadline_exceeded")
+            self._fail(pending, reason="deadline-exceeded")
+            return
         if phase == PHASE_LOCAL:
             self._retarget(pending, PHASE_HOME, self._cfg.home_timeout)
             self._start_home_search(
@@ -416,6 +566,19 @@ class Peer:
         if pending is None or pending.phase == PHASE_POLL:
             return  # duplicate response; first one won
         now = self._sim.now
+        res = self.host.resilience
+        if res is not None and pending.phase == PHASE_HOME:
+            home = self.host.geohash.home_region(msg.key, self.host.table)
+            if (
+                msg.responder_region_id == home.region_id
+                and home.region_id != self.current_region_id
+            ):
+                # The actual home region answered in time: decay its
+                # suspicion (intercept/regional serves prove nothing
+                # about the region itself, so they don't count).
+                res.on_home_success(home.region_id, now)
+                if pending.probe:
+                    res.on_probe_result(home.region_id, True, now)
         if pending.prefetch:
             # Prefetch completion: cache the data, touch no user metrics.
             self._finish(msg.request_id)
@@ -440,6 +603,10 @@ class Peer:
                 if msg.responder_region_id != target.region_id:
                     # Served by an en-route cache on the GPSR path (§3.1).
                     serve_class = "intercept"
+        if serve_class == "replica" and pending.degraded:
+            # The breaker steered this request around its suspected home
+            # region; surface the degraded service explicitly.
+            serve_class = "degraded"
         if (
             self.host.scheme.must_validate_response(msg.authoritative, msg.fresh)
             and not pending.no_validate

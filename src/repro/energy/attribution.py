@@ -9,7 +9,7 @@ the two: the radio brackets each transmission with
 charge booked inside the bracket, and the attributor classifies the
 packet into a **span kind** (``gpsr.hop``, ``gpsr.beacon``,
 ``region.flood``, ``consistency.push``, ``consistency.poll``,
-``failover.replica``) and credits the joules to
+``failover.replica``, ``resilience.probe``) and credits the joules to
 
 * the span kind (``energy.span.*``),
 * the request phase currently open on the packet's trace
@@ -72,6 +72,8 @@ def classify_packet(packet) -> str:
         return "consistency.push"
     if isinstance(inner, (Poll, PollReply)):
         return "consistency.poll"
+    if isinstance(inner, HomeRequest) and getattr(inner, "probe", False):
+        return "resilience.probe"
     if isinstance(inner, HomeRequest) and getattr(inner, "to_replica", False):
         return "failover.replica"
     if isinstance(payload, FloodEnvelope):

@@ -197,6 +197,17 @@ def _scenario_churn(seed: int) -> SimulationConfig:
     return replace(_base_config(seed), churn_uptime=30.0, churn_downtime=10.0)
 
 
+def _scenario_resilient(seed: int) -> SimulationConfig:
+    """The faulted scenario with the resilience layer switched on.
+
+    Same hostile fault plan as ``faulted``, so the golden digests pin
+    that retries, deadline budgets, and circuit breaking themselves
+    replay bit-for-bit (the backoff jitter draws from the dedicated
+    "resilience" RNG stream).
+    """
+    return replace(_scenario_faulted(seed), resilience=True)
+
+
 #: Audited scenarios.  "default" is an alias of "baseline" so the CLI's
 #: documented invocation (`repro audit --scenario default`) and the
 #: golden file key ("baseline") agree.
@@ -205,10 +216,11 @@ SCENARIOS: Dict[str, Callable[[int], SimulationConfig]] = {
     "default": _scenario_baseline,
     "faulted": _scenario_faulted,
     "churn": _scenario_churn,
+    "resilient": _scenario_resilient,
 }
 
 #: Scenario names digests are stored under (aliases folded).
-CANONICAL_SCENARIOS = ("baseline", "faulted", "churn")
+CANONICAL_SCENARIOS = ("baseline", "faulted", "churn", "resilient")
 
 _ALIASES = {"default": "baseline"}
 

@@ -1,0 +1,59 @@
+"""Adaptive request resilience (retries, deadlines, circuit breaking).
+
+PReCinCt's §2.4 fault-tolerance story is a single fixed escalation:
+wait ``home_timeout``, try the replica region once, give up.  Under the
+sustained loss, crash, and partition plans :mod:`repro.faults` can
+inject, that ladder collapses — a partitioned home region turns every
+request into a worst-case ``home_timeout + replica_timeout`` stall
+before failing.  This package layers three adaptive mechanisms on top
+of the geographic routing scheme, all gated by
+``SimulationConfig.resilience`` (default **off**, so the classic ladder
+and its golden digests are untouched):
+
+* **bounded retries with exponential backoff** and deterministic jitter
+  (:class:`~repro.resilience.backoff.BackoffPolicy`), replacing the
+  one-shot home→replica escalation with a configurable retry budget per
+  remote phase;
+* **per-request deadline budgets** (``request_deadline``) so a request
+  fails fast once its total latency budget is spent instead of serially
+  exhausting every phase timeout;
+* a **per-region failure detector**
+  (:class:`~repro.resilience.detector.RegionFailureDetector`,
+  consecutive-timeout suspicion with α-smoothed decay on success — the
+  same EWMA shape as the paper's TTR rule, eq. 2) feeding a
+  **circuit breaker** (:class:`~repro.resilience.breaker.CircuitBreaker`)
+  that steers new requests straight to the replica region while the
+  home region is suspected, with half-open probe requests to detect
+  recovery.
+
+Determinism
+-----------
+The only randomness — backoff jitter — draws from a dedicated
+``"resilience"`` RNG stream (the same digest-safe pattern as
+:mod:`repro.obs.sampling`): stream independence guarantees the draws
+never perturb mobility, workload, MAC jitter, or fault injection, so a
+resilient run replays bit-for-bit from its seed and a resilience-*off*
+run is byte-identical to one built before this package existed.
+
+See ``docs/RESILIENCE.md`` for semantics, config knobs, and stat keys.
+"""
+
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.detector import RegionFailureDetector
+from repro.resilience.manager import ResilienceManager
+
+__all__ = [
+    "BackoffPolicy",
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "OPEN",
+    "RegionFailureDetector",
+    "ResilienceManager",
+]

@@ -1,0 +1,78 @@
+"""Exponential backoff with deterministic jitter.
+
+A retry storm is the classic failure amplifier: when a region stops
+answering, every requester re-sending on the same fixed schedule
+floods the radio channel exactly when it is least able to absorb it.
+:class:`BackoffPolicy` spaces attempt ``n`` by
+
+    ``base * factor**(n-1) * (1 + jitter * u)``,   ``u ~ U[0, 1)``
+
+so successive retries spread exponentially and the jitter term
+decorrelates requesters that timed out at the same instant.
+
+Determinism
+-----------
+``u`` is drawn from the dedicated ``"resilience"`` RNG stream
+(:class:`~repro.sim.rng.RngRegistry` spawns statistically independent
+substreams per name), so the draws replay exactly from the run's seed
+and can never perturb any other component's randomness — the same
+digest-safe pattern as the head-based trace sampler
+(:mod:`repro.obs.sampling`).  With ``jitter=0`` the policy never draws
+at all.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """Computes retry delays; one RNG draw per jittered delay.
+
+    Parameters
+    ----------
+    base:
+        Delay before the first retry (s).
+    factor:
+        Multiplier applied per additional attempt (>= 1).
+    jitter:
+        Jitter fraction in ``[0, 1]``: each delay is stretched by a
+        uniform factor in ``[1, 1 + jitter)``.  0 disables the RNG
+        entirely.
+    rng:
+        ``numpy.random.Generator`` supplying the uniform draws; required
+        when ``jitter > 0``.
+    """
+
+    def __init__(self, base: float, factor: float = 2.0,
+                 jitter: float = 0.0, rng=None):
+        if base <= 0.0:
+            raise ValueError(f"backoff base must be positive, got {base}")
+        if factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"backoff jitter must be in [0, 1], got {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise ValueError(f"a jitter fraction ({jitter}) needs an rng stream")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self._rng = rng
+        #: Delays handed out so far (observability; never read back).
+        self.draws = 0
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        delay = self.base * self.factor ** (attempt - 1)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(self._rng.random())
+        self.draws += 1
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BackoffPolicy(base={self.base}, factor={self.factor}, "
+            f"jitter={self.jitter}, draws={self.draws})"
+        )

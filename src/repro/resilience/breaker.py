@@ -1,0 +1,117 @@
+"""Per-region circuit breaker: closed → open → half-open → closed.
+
+While a region's failure detector is below threshold the breaker is
+**closed** and requests route normally.  When suspicion crosses the
+threshold the breaker **opens**: new requests skip the suspected home
+region entirely and steer straight to the replica region, saving the
+full ``home_timeout`` stall per request.  After a cool-down the breaker
+goes **half-open**: exactly one live request is let through as a
+*probe*; if the region answers, the breaker closes (and the detector's
+history is wiped), if the probe times out the breaker re-opens for
+another cool-down.
+
+The breaker never schedules events — every transition is evaluated
+lazily against the simulated clock passed by the caller — and it never
+draws randomness, so it is replay-exact by construction.  A probe whose
+requester dies mid-flight cannot wedge the breaker: if a probe is
+outstanding for longer than another full cool-down, the next request
+becomes a fresh probe.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+#: Breaker states (integer-valued so telemetry can plot them directly).
+CLOSED = 0
+OPEN = 1
+HALF_OPEN = 2
+
+_STATE_NAMES = {CLOSED: "closed", OPEN: "open", HALF_OPEN: "half-open"}
+
+#: Routing verdicts returned by :meth:`CircuitBreaker.route`.
+PASS = "pass"
+STEER = "steer"
+PROBE = "probe"
+
+
+class CircuitBreaker:
+    """Breaker for one region.
+
+    Parameters
+    ----------
+    cooldown:
+        Seconds an open breaker waits before letting a half-open probe
+        through.
+    """
+
+    def __init__(self, region_id: int, cooldown: float):
+        if cooldown <= 0.0:
+            raise ValueError(f"breaker cooldown must be positive, got {cooldown}")
+        self.region_id = region_id
+        self.cooldown = float(cooldown)
+        self.state = CLOSED
+        self._opened_at = 0.0
+        self._probe_at = 0.0
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self.state]
+
+    # -- transitions (driven by the manager) ------------------------------
+
+    def trip(self, now: float) -> bool:
+        """Suspicion crossed threshold; open unless already open.
+
+        Returns True when this call actually opened the breaker.
+        """
+        if self.state == OPEN:
+            return False
+        self.state = OPEN
+        self._opened_at = now
+        return True
+
+    def close(self) -> None:
+        self.state = CLOSED
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, now: float) -> str:
+        """Routing verdict for a new request targeting this region.
+
+        ``"pass"`` — closed, route to the region normally;
+        ``"steer"`` — skip the region, go straight to the replica;
+        ``"probe"`` — route to the region and report the outcome back
+        (the caller marks the request as the half-open probe).
+        """
+        if self.state == CLOSED:
+            return PASS
+        if self.state == OPEN:
+            if now - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self._probe_at = now
+                return PROBE
+            return STEER
+        # HALF_OPEN: a probe is in flight.  A probe lost with its
+        # requester would otherwise wedge the breaker — allow a fresh
+        # probe once a full cool-down has passed since the last one.
+        if now - self._probe_at >= self.cooldown:
+            self._probe_at = now
+            return PROBE
+        return STEER
+
+    def on_probe_result(self, success: bool, now: float) -> None:
+        """The half-open probe resolved (served, or timed out)."""
+        if self.state != HALF_OPEN:
+            return  # stale probe outcome; the breaker already moved on
+        if success:
+            self.close()
+        else:
+            self.state = OPEN
+            self._opened_at = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(region={self.region_id}, "
+            f"state={self.state_name})"
+        )

@@ -1,0 +1,71 @@
+"""Per-region failure suspicion, α-smoothed like the paper's TTR rule.
+
+The home-region search phase gives one clean liveness signal per
+request: either the region answered before ``home_timeout`` or it did
+not.  The detector turns that stream of binary outcomes into a
+continuous **suspicion score** per region:
+
+* a timeout adds one full unit of suspicion (``score += 1``);
+* a success decays the score exponentially (``score *= alpha``) — the
+  same EWMA shape as the paper's adaptive TTR estimate (eq. 2), where
+  α weighs history against fresh evidence.
+
+``suspected(region)`` is a simple threshold test.  Consecutive
+timeouts therefore cross the threshold after ``ceil(threshold)``
+failures, while a mixed stream must sustain a high failure fraction to
+stay suspected: a single success after a burst of timeouts halves the
+score (at the default α = 0.5), mirroring how eq. 2 lets one fresh
+observation pull a stale estimate back quickly.
+
+The detector is pure bookkeeping — no RNG, no scheduling, no stats —
+so the :class:`~repro.resilience.manager.ResilienceManager` composing
+it stays trivially replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["RegionFailureDetector"]
+
+
+class RegionFailureDetector:
+    """Suspicion scores for every region that served (or stalled) a request."""
+
+    def __init__(self, threshold: float = 3.0, alpha: float = 0.5):
+        if threshold <= 0.0:
+            raise ValueError(f"suspicion threshold must be positive, got {threshold}")
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.threshold = float(threshold)
+        self.alpha = float(alpha)
+        self._scores: Dict[int, float] = {}
+
+    def record_timeout(self, region_id: int) -> float:
+        """A request phase targeting ``region_id`` timed out."""
+        score = self._scores.get(region_id, 0.0) + 1.0
+        self._scores[region_id] = score
+        return score
+
+    def record_success(self, region_id: int) -> float:
+        """``region_id`` answered a request phase in time."""
+        score = self._scores.get(region_id, 0.0) * self.alpha
+        self._scores[region_id] = score
+        return score
+
+    def score(self, region_id: int) -> float:
+        return self._scores.get(region_id, 0.0)
+
+    def suspected(self, region_id: int) -> bool:
+        return self.score(region_id) >= self.threshold
+
+    def clear(self, region_id: int) -> None:
+        """Forget a region's history (breaker close = clean slate)."""
+        self._scores.pop(region_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hot = {r: round(s, 2) for r, s in self._scores.items() if s > 0}
+        return (
+            f"RegionFailureDetector(threshold={self.threshold}, "
+            f"alpha={self.alpha}, scores={hot})"
+        )
