@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Perf regression gate over ``repro profile --json`` output.
+"""Perf regression gates: profile odds + benchmark trajectory.
 
-Compares the **self-time odds** of the gated hot sections
-(``engine.dispatch``, ``routing.gpsr`` by default) in a fresh profile
-against a committed baseline, and fails when a section's odds regressed
-by more than ``--max-regression`` (relative).
+**Profile mode** (default) compares the self-time odds of the gated hot
+sections (``engine.dispatch``, ``routing.gpsr`` by default) in a fresh
+``repro profile --json`` output against a committed baseline, and fails
+when a section's odds regressed by more than ``--max-regression``
+(relative).
 
 Odds — ``self_s / (total self_s - self_s)`` — not absolute seconds: CI
 machines vary widely in raw speed, but how the interpreter divides its
@@ -15,12 +16,24 @@ slow.  Odds rather than plain fractions because fractions saturate: a
 section already at 70 % of self-time can never grow +50 % in share, but
 its odds triple when its cost triples.
 
+**Bench-trajectory mode** (``--bench``) reads the committed sequence of
+``benchmarks/perf/BENCH_*.json`` records (written by ``repro bench
+--json``) and fails when any scenario's fast/reference kernel speedup in
+the **latest** record fell below ``--min-speedup``.  The speedup is a
+ratio of two runs on the same machine in the same record, so it is
+machine-independent — the trajectory gate holds on slow CI runners.
+
 Usage::
 
     python -m repro profile --nodes 20 --items 80 --duration 120 \
         --warmup 20 --seed 42 --json profile.json
     python scripts/perf_gate.py profile.json          # gate
     python scripts/perf_gate.py profile.json --update # rebless baseline
+
+    python -m repro bench --quick --json /tmp/bench.json
+    python scripts/perf_gate.py --bench /tmp/bench.json   # gate one record
+    python scripts/perf_gate.py --bench                   # gate committed
+                                                          # trajectory
 
 The committed baseline (``scripts/perf_baseline.json``) must be
 regenerated with the same workload arguments whenever the gate's
@@ -35,6 +48,9 @@ import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
+DEFAULT_BENCH_DIR = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "perf"
+)
 DEFAULT_SECTIONS = ("engine.dispatch", "routing.gpsr")
 
 
@@ -46,6 +62,12 @@ def load_profile(path: Path) -> dict:
             f"{path}: not a 'repro profile --json' payload "
             "(missing 'sections'/'self_total_s')"
         )
+    for name, rec in payload["sections"].items():
+        if not isinstance(rec, dict) or "self_s" not in rec:
+            raise ValueError(
+                f"{path}: section {name!r} has no 'self_s' field — "
+                "regenerate the file with 'repro profile --json'"
+            )
     return payload
 
 
@@ -63,23 +85,26 @@ def odds(payload: dict, section: str) -> float:
     return f / (1.0 - f) if f < 1.0 else float("inf")
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("profile", type=Path,
-                        help="fresh 'repro profile --json' output")
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
-    parser.add_argument("--sections", nargs="+", default=list(DEFAULT_SECTIONS),
-                        help="profiled sections to gate on")
-    parser.add_argument("--max-regression", type=float, default=0.5,
-                        help="fail when (current - baseline) / baseline "
-                             "exceeds this (default 0.5 = +50%%)")
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the baseline from the fresh profile")
-    args = parser.parse_args(argv)
-
+def gate_profile(args: argparse.Namespace) -> int:
+    if args.profile is None:
+        print(
+            "error: profile mode needs a fresh 'repro profile --json' "
+            "file as the positional argument (or pass --bench for the "
+            "benchmark-trajectory gate)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         current = load_profile(args.profile)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
+    except OSError as exc:
+        print(
+            f"error: cannot read fresh profile {args.profile}: {exc}\n"
+            "generate one with: python -m repro profile ... --json "
+            f"{args.profile}",
+            file=sys.stderr,
+        )
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -93,8 +118,36 @@ def main(argv=None) -> int:
 
     try:
         baseline = load_profile(args.baseline)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        print(f"error: {exc} (generate with --update)", file=sys.stderr)
+    except OSError:
+        print(
+            f"error: baseline {args.baseline} is missing or unreadable.\n"
+            "bless one from a fresh profile with:\n"
+            f"  python scripts/perf_gate.py {args.profile} --update "
+            f"--baseline {args.baseline}",
+            file=sys.stderr,
+        )
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(
+            f"error: baseline is malformed: {exc}\n"
+            "rebless it with: python scripts/perf_gate.py <profile.json> "
+            "--update",
+            file=sys.stderr,
+        )
+        return 2
+
+    missing = [s for s in args.sections if s not in baseline["sections"]]
+    if missing:
+        print(
+            f"error: baseline {args.baseline} has no record of gated "
+            f"section(s) {missing}.\n"
+            f"sections present: {sorted(baseline['sections'])}\n"
+            "either gate on sections the baseline profiled "
+            "(--sections ...) or rebless the baseline with a workload "
+            "that exercises them:\n"
+            f"  python scripts/perf_gate.py <profile.json> --update",
+            file=sys.stderr,
+        )
         return 2
 
     failed = False
@@ -106,7 +159,7 @@ def main(argv=None) -> int:
         base_f = fraction(baseline, section)
         cur_f = fraction(current, section)
         if base <= 0:
-            verdict = "SKIP (no baseline self-time)"
+            verdict = "SKIP (baseline self-time is zero)"
             change = ""
         else:
             rel = (cur - base) / base
@@ -127,6 +180,116 @@ def main(argv=None) -> int:
         return 1
     print("perf gate OK")
     return 0
+
+
+def load_bench(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if "scenarios" not in payload:
+        raise ValueError(
+            f"{path}: not a 'repro bench --json' payload "
+            "(missing 'scenarios')"
+        )
+    return payload
+
+
+def gate_bench(args: argparse.Namespace) -> int:
+    """Benchmark-trajectory gate over BENCH_*.json records."""
+    if args.profile is not None:
+        records = [args.profile]
+    else:
+        records = sorted(args.bench_dir.glob("BENCH_*.json"))
+        if not records:
+            print(
+                f"error: no BENCH_*.json records under {args.bench_dir}.\n"
+                "record one with:\n"
+                "  python -m repro bench --bench-id BENCH_0001 "
+                f"--json {args.bench_dir}/BENCH_0001.json",
+                file=sys.stderr,
+            )
+            return 2
+
+    trajectory = []
+    for path in records:
+        try:
+            trajectory.append((path, load_bench(path)))
+        except OSError as exc:
+            print(f"error: cannot read bench record {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    print(f"{'record':<18} {'scenario':<10} {'ev/s (fast)':>12} "
+          f"{'speedup':>8}")
+    for path, payload in trajectory:
+        for name, rec in payload["scenarios"].items():
+            fast = rec.get("fast", {})
+            speedup = rec.get("speedup")
+            tag = f"{speedup:7.2f}x" if speedup else "      —"
+            print(f"{path.stem:<18} {name:<10} "
+                  f"{fast.get('events_per_s', 0.0):>12,.0f} {tag:>8}")
+
+    latest_path, latest = trajectory[-1]
+    failed = False
+    for name, rec in latest["scenarios"].items():
+        speedup = rec.get("speedup")
+        if speedup is None:
+            print(
+                f"error: latest record {latest_path} has no reference-"
+                f"kernel measurement for scenario {name!r} (recorded "
+                "with --no-reference?) — the trajectory gate needs the "
+                "fast/reference speedup; re-record without "
+                "--no-reference",
+                file=sys.stderr,
+            )
+            return 2
+        if speedup < args.min_speedup:
+            print(
+                f"bench gate FAIL: scenario {name!r} fast-kernel speedup "
+                f"{speedup:.2f}x fell below the floor "
+                f"{args.min_speedup:.2f}x (latest record: {latest_path})",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    print(f"bench gate OK (latest record: {latest_path.name}, "
+          f"floor {args.min_speedup:.2f}x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("profile", type=Path, nargs="?", default=None,
+                        help="fresh 'repro profile --json' output "
+                             "(profile mode), or a single bench record "
+                             "(--bench mode; default: the committed "
+                             "trajectory)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--sections", nargs="+", default=list(DEFAULT_SECTIONS),
+                        help="profiled sections to gate on")
+    parser.add_argument("--max-regression", type=float, default=0.5,
+                        help="fail when (current - baseline) / baseline "
+                             "exceeds this (default 0.5 = +50%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the fresh profile")
+    parser.add_argument("--bench", action="store_true",
+                        help="benchmark-trajectory mode: gate the latest "
+                             "BENCH_*.json fast/reference speedup")
+    parser.add_argument("--bench-dir", type=Path, default=DEFAULT_BENCH_DIR,
+                        help="directory of BENCH_*.json records "
+                             "(default: benchmarks/perf)")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="bench mode: minimum fast/reference speedup "
+                             "per scenario (default 1.3 — conservative "
+                             "so CI noise cannot flake the gate)")
+    args = parser.parse_args(argv)
+
+    if args.bench:
+        return gate_bench(args)
+    return gate_profile(args)
 
 
 if __name__ == "__main__":

@@ -88,6 +88,7 @@ class PReCinCtNetwork:
             radio=radio,
             energy_params=EnergyParams(idle_mw=cfg.idle_power_mw),
             stats=self.stats,
+            fast_kernel=cfg.fast_kernel,
         )
         self.stack = NetworkStack(self.network)
 
@@ -110,6 +111,7 @@ class PReCinCtNetwork:
 
         # -- wiring -------------------------------------------------------------
         self.stack.set_app_handler(self._dispatch)
+        self.stack.set_app_batch_handler(self._dispatch_batch)
         self.stack.set_intercept_handler(self._intercept)
         self.stack.set_drop_handler(self._on_route_drop)
 
@@ -612,6 +614,11 @@ class PReCinCtNetwork:
     # -- message dispatch ---------------------------------------------------------------
 
     def _dispatch(self, node_id: int, inner, packet: Packet) -> None:
+        if type(inner) is tuple and inner and inner[0] == "hello":
+            # HELLO beacons outnumber every other message type when
+            # beaconing is on; short-circuit before the isinstance chain.
+            self.stats.count("peer.beacons_heard")
+            return
         peer = self.peers[node_id]
         by_geo = isinstance(packet.payload, GeoEnvelope)
         if isinstance(inner, LocalRequest):
@@ -645,6 +652,19 @@ class PReCinCtNetwork:
                 self.stats.count("peer.table_updates_received")
             else:  # pragma: no cover - future message types
                 self.stats.count("dispatch.unknown")
+
+    def _dispatch_batch(self, receivers, inner, packet: Packet) -> bool:
+        """Whole-broadcast dispatch for per-receiver-stateless messages.
+
+        HELLO beacons touch no per-peer state — their only observable
+        effect is the ``peer.beacons_heard`` counter, which one batched
+        add reproduces exactly (integer counts in float64 are exact).
+        Everything else falls back to per-receiver dispatch.
+        """
+        if type(inner) is tuple and inner and inner[0] == "hello":
+            self.stats.count("peer.beacons_heard", len(receivers))
+            return True
+        return False
 
     def _intercept(self, node_id: int, inner, packet: Packet) -> bool:
         """En-route cache serving (§3.1) for geo-routed requests."""

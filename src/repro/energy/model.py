@@ -134,24 +134,35 @@ class EnergyLedger:
         self._notify("bcast_send", cost)
         return cost
 
-    def charge_bcast_recv(self, nodes: np.ndarray, size: float) -> float:
-        """Charge every node in ``nodes``; returns the aggregate cost."""
+    def charge_bcast_recv(self, nodes: np.ndarray, size: float, *, unique: bool = False) -> float:
+        """Charge every node in ``nodes``; returns the aggregate cost.
+
+        ``unique=True`` promises the ids are distinct (true for neighbor
+        sets) and takes a plain fancy-indexed add — several times faster
+        than ``np.add.at``, which must handle repeated indices.
+        """
         nodes = np.asarray(nodes, dtype=np.intp)
         if nodes.size == 0:
             return 0.0
         cost = self.params.bcast_recv(size)
-        np.add.at(self._by_category["bcast_recv"], nodes, cost)
+        if unique:
+            self._by_category["bcast_recv"][nodes] += cost
+        else:
+            np.add.at(self._by_category["bcast_recv"], nodes, cost)
         total = cost * nodes.size
         self._notify("bcast_recv", total)
         return total
 
-    def charge_discard(self, nodes: np.ndarray, size: float) -> float:
+    def charge_discard(self, nodes: np.ndarray, size: float, *, unique: bool = False) -> float:
         """Charge overhearing nodes for a p2p message not addressed to them."""
         nodes = np.asarray(nodes, dtype=np.intp)
         if nodes.size == 0:
             return 0.0
         cost = self.params.discard(size)
-        np.add.at(self._by_category["discard"], nodes, cost)
+        if unique:
+            self._by_category["discard"][nodes] += cost
+        else:
+            np.add.at(self._by_category["discard"], nodes, cost)
         total = cost * nodes.size
         self._notify("discard", total)
         return total

@@ -1,0 +1,189 @@
+"""Event-kernel microbenchmarks (`repro bench`).
+
+Measures raw simulation throughput — events/sec and requests/sec — on
+pinned scenarios, under both the fast kernel (``fast_kernel=True``, the
+default vectorized/cached paths) and the reference kernel
+(``fast_kernel=False``, the scalar escape hatch the golden-digest
+equivalence suite diffs against).  Because both kernels replay the exact
+same logical event sequence (the equivalence tests enforce bit-identical
+digests), ``events_executed`` is directly comparable and the
+fast/reference ratio is a machine-independent speedup measure.
+
+Results are written as ``benchmarks/perf/BENCH_NNNN.json`` records; the
+committed sequence of those files is the *benchmark trajectory*, gated
+by ``scripts/perf_gate.py --bench`` so the fast kernel's advantage can
+only be regressed deliberately.
+
+The pinned scenarios:
+
+* ``kernel`` — the headline: 60 mobile nodes, 9 regions, mixed
+  request/update workload under push-adaptive-pull consistency with 1 s
+  GPSR HELLO beaconing.  Broadcast-heavy and planarization-heavy, which
+  is exactly what the vectorized kernel accelerates.
+* ``audit`` — the golden-audit baseline scenario (20 nodes, event log
+  on): small, eventlog-bound, keeps the bench honest on bookkeeping
+  overhead.
+
+Scenario parameters are frozen: editing them invalidates the committed
+trajectory, so add a new scenario (and start a fresh trajectory) rather
+than retuning an existing one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.config import SimulationConfig
+
+__all__ = [
+    "BENCH_SCENARIOS",
+    "bench_scenario",
+    "run_bench",
+    "format_bench",
+]
+
+#: Pinned benchmark scenarios.  Frozen — see module docstring.
+BENCH_SCENARIOS: Dict[str, SimulationConfig] = {
+    "kernel": SimulationConfig(
+        n_nodes=60,
+        n_items=240,
+        width=1200.0,
+        height=1200.0,
+        n_regions=9,
+        max_speed=6.0,
+        duration=120.0,
+        warmup=20.0,
+        t_request=10.0,
+        t_update=60.0,
+        consistency="push-adaptive-pull",
+        cache_fraction=0.05,
+        gpsr_beacon_interval=1.0,
+        seed=7,
+    ),
+    "audit": SimulationConfig(
+        n_nodes=20,
+        n_items=60,
+        width=600.0,
+        height=600.0,
+        n_regions=4,
+        max_speed=4.0,
+        duration=80.0,
+        warmup=10.0,
+        t_request=15.0,
+        t_update=40.0,
+        consistency="push-adaptive-pull",
+        cache_fraction=0.1,
+        enable_event_log=True,
+        seed=42,
+    ),
+}
+
+#: Quick mode shrinks virtual duration by this factor (CI smoke runs).
+QUICK_FACTOR = 4.0
+
+
+def _measure(cfg: SimulationConfig, repeats: int) -> Dict[str, float]:
+    """Run ``cfg`` ``repeats`` times; report the best (least-noise) run."""
+    from repro.core.network import PReCinCtNetwork
+
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        net = PReCinCtNetwork(cfg)
+        t0 = time.perf_counter()
+        report = net.run()
+        wall_s = time.perf_counter() - t0
+        rec = {
+            "wall_s": wall_s,
+            "events": int(net.sim.events_executed),
+            "events_per_s": net.sim.events_executed / wall_s,
+            "requests": int(report.requests_issued),
+            "requests_per_s": report.requests_issued / wall_s,
+        }
+        if best is None or rec["wall_s"] < best["wall_s"]:
+            best = rec
+    return best
+
+
+def bench_scenario(
+    name: str,
+    quick: bool = False,
+    repeats: int = 3,
+    reference: bool = True,
+) -> Dict[str, object]:
+    """Benchmark one pinned scenario under fast and reference kernels."""
+    cfg = BENCH_SCENARIOS[name]
+    if quick:
+        factor = QUICK_FACTOR
+        cfg = replace(
+            cfg,
+            duration=cfg.duration / factor,
+            warmup=cfg.warmup / factor,
+        )
+    out: Dict[str, object] = {
+        "config": {
+            "n_nodes": cfg.n_nodes,
+            "duration": cfg.duration,
+            "seed": cfg.seed,
+            "quick": quick,
+            "repeats": repeats,
+        },
+        "fast": _measure(replace(cfg, fast_kernel=True), repeats),
+    }
+    if reference:
+        out["reference"] = _measure(replace(cfg, fast_kernel=False), repeats)
+        out["speedup"] = out["fast"]["events_per_s"] / out["reference"]["events_per_s"]
+    return out
+
+
+def run_bench(
+    scenarios: Optional[List[str]] = None,
+    quick: bool = False,
+    repeats: int = 3,
+    reference: bool = True,
+    bench_id: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the benchmark suite; returns the ``BENCH_*.json`` payload."""
+    names = list(BENCH_SCENARIOS) if scenarios is None else scenarios
+    unknown = [n for n in names if n not in BENCH_SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown bench scenario(s) {unknown}; known: {sorted(BENCH_SCENARIOS)}"
+        )
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "bench_id": bench_id,
+        "quick": quick,
+        "scenarios": {n: bench_scenario(n, quick=quick, repeats=repeats,
+                                        reference=reference) for n in names},
+    }
+    return payload
+
+
+def format_bench(payload: Dict[str, object]) -> str:
+    """Human-readable table of one bench payload."""
+    lines = [
+        f"{'scenario':<10} {'kernel':<10} {'wall':>8} {'events':>9} "
+        f"{'ev/s':>10} {'req/s':>8} {'speedup':>8}"
+    ]
+    for name, rec in payload["scenarios"].items():
+        speedup = rec.get("speedup")
+        for kernel in ("fast", "reference"):
+            m = rec.get(kernel)
+            if m is None:
+                continue
+            tag = f"{speedup:7.2f}x" if kernel == "fast" and speedup else ""
+            lines.append(
+                f"{name:<10} {kernel:<10} {m['wall_s']:>7.3f}s {m['events']:>9,} "
+                f"{m['events_per_s']:>10,.0f} {m['requests_per_s']:>8,.1f} {tag:>8}"
+            )
+    return "\n".join(lines)
+
+
+def write_bench(payload: Dict[str, object], path) -> None:
+    """Write a bench payload as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -238,11 +238,16 @@ def run_scenario(
     seed: int = 42,
     check_invariants: bool = True,
     observers=None,
+    fast_kernel=None,
     observability=_DEPRECATED,
     bundle_dir=_DEPRECATED,
     trace_sample_rate=_DEPRECATED,
 ):
     """Run one audited scenario; return ``(net, report, RunDigest)``.
+
+    ``fast_kernel`` overrides the scenario config's vectorized-kernel
+    flag when not ``None`` — the golden equivalence suite runs every
+    scenario with it forced off and demands byte-identical digests.
 
     Invariants are checked at every fault boundary (via the installed
     :class:`~repro.faults.injectors.FaultController`) and once after the
@@ -297,6 +302,8 @@ def run_scenario(
         observers = Observers(**options)
 
     cfg = factory(seed)
+    if fast_kernel is not None:
+        cfg = replace(cfg, fast_kernel=fast_kernel)
     net = PReCinCtNetwork(cfg, observers=observers)
     if net.faults is not None:
         net.faults.check_invariants = check_invariants

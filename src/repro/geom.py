@@ -21,6 +21,8 @@ __all__ = [
     "distances_to",
     "midpoint",
     "point_in_polygon",
+    "points_in_polygon",
+    "PolygonTester",
     "polygon_centroid",
     "angle_of",
     "normalize_angle",
@@ -101,6 +103,88 @@ def point_in_polygon(point: Point, vertices: Sequence[Point]) -> bool:
                 inside = not inside
         j = i
     return inside
+
+
+class PolygonTester:
+    """Precomputed edge constants for repeated vectorized polygon tests.
+
+    Build once per polygon, then :meth:`contains` classifies an
+    ``(N, 2)`` point array with results **bit-identical** elementwise to
+    :func:`point_in_polygon`: per-edge constants stay Python floats
+    computed by the same scalar helpers, and the point-dependent terms
+    use the same elementwise float64 subtract/multiply/divide, so every
+    comparison resolves exactly as in the scalar loop.  (The scalar
+    version early-returns on a boundary hit; boundary points are inside
+    regardless of the remaining parity toggles, so accumulating both
+    masks over all edges yields the same answer.)
+    """
+
+    __slots__ = ("_ax", "_ay", "_bx", "_by", "_seg_tol", "_seg_len_sq", "_degenerate")
+
+    _EPS = 1e-9
+
+    def __init__(self, vertices: Sequence[Point]):
+        verts = list(vertices)
+        n = len(verts)
+        self._degenerate = n < 3
+        if self._degenerate:
+            return
+        eps = self._EPS
+        # Edge-constant arrays (shape (E,)) for segments (verts[i],
+        # verts[j]).  The segment-level scalars (distance, distance_sq)
+        # come from the scalar helpers so their rounding matches the
+        # scalar path exactly.
+        self._ax = ax = np.empty(n)
+        self._ay = ay = np.empty(n)
+        self._bx = bx = np.empty(n)
+        self._by = by = np.empty(n)
+        self._seg_tol = seg_tol = np.empty(n)
+        self._seg_len_sq = seg_len_sq = np.empty(n)
+        j = n - 1
+        for i in range(n):
+            a = verts[i]
+            b = verts[j]
+            ax[i], ay[i] = a
+            bx[i], by[i] = b
+            seg_tol[i] = eps * max(1.0, distance(a, b))
+            seg_len_sq[i] = distance_sq(a, b) + eps
+            j = i
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean membership for each row of ``points`` (N, 2)."""
+        points = np.asarray(points, dtype=float)
+        if self._degenerate:
+            return np.zeros(points.shape[0], dtype=bool)
+        eps = self._EPS
+        ax, ay, bx, by = self._ax, self._ay, self._bx, self._by
+        px = points[:, 0:1]  # (N, 1) against (E,) edge constants
+        py = points[:, 1:2]
+        dbax = bx - ax
+        dbay = by - ay
+        dpax = px - ax
+        dpay = py - ay
+        # Boundary: same cross/dot arithmetic as _on_segment.
+        cross = dbax * dpay - dbay * dpax
+        dot = dpax * dbax + dpay * dbay
+        on_boundary = (
+            (np.abs(cross) <= self._seg_tol) & (dot >= -eps) & (dot <= self._seg_len_sq)
+        )
+        # Crossing-parity toggles, guarded exactly like the scalar branch
+        # (XOR over edges is order-independent, so one reduction is exact).
+        straddles = (ay > py) != (by > py)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = dbax * (py - ay) / dbay + ax
+        inside = np.bitwise_xor.reduce(straddles & (px < x_cross), axis=1)
+        return on_boundary.any(axis=1) | inside
+
+
+def points_in_polygon(points: np.ndarray, vertices: Sequence[Point]) -> np.ndarray:
+    """Vectorized :func:`point_in_polygon` over an ``(N, 2)`` array.
+
+    One-shot convenience over :class:`PolygonTester`; build the tester
+    yourself when the same polygon is queried repeatedly.
+    """
+    return PolygonTester(vertices).contains(points)
 
 
 def _on_segment(p: Point, a: Point, b: Point, eps: float = 1e-9) -> bool:

@@ -22,7 +22,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.energy import EnergyLedger, EnergyParams
-from repro.geom import Point
+from repro.geom import Point, PolygonTester, point_in_polygon
 from repro.mobility.base import MobilityModel
 from repro.net.packet import Packet
 from repro.net.topology import SpatialGrid
@@ -76,6 +76,7 @@ class WirelessNetwork:
         radio: RadioParams = RadioParams(),
         energy_params: EnergyParams = EnergyParams(),
         stats: Optional[StatRegistry] = None,
+        fast_kernel: bool = True,
     ):
         self.sim = sim
         self.mobility = mobility
@@ -85,6 +86,11 @@ class WirelessNetwork:
         self.energy = EnergyLedger(self.n_nodes, energy_params)
         self.stats = stats if stats is not None else StatRegistry()
         self.alive = np.ones(self.n_nodes, dtype=bool)
+        #: Vectorized/cached hot paths (per-generation neighbor memo,
+        #: batched broadcast delivery, handle-free delivery events).
+        #: Bit-identical to the reference paths — ``fast_kernel=False``
+        #: is the escape hatch the equivalence tests diff against.
+        self.fast_kernel = bool(fast_kernel)
         # Half-duplex sender serialization: a node's transmissions queue
         # behind each other; _busy_until[i] is when node i's radio frees.
         self._busy_until = np.zeros(self.n_nodes)
@@ -92,11 +98,22 @@ class WirelessNetwork:
         self._alive_since = np.zeros(self.n_nodes)
         self._accumulated_uptime = np.zeros(self.n_nodes)
         self._grid = SpatialGrid(
-            mobility.width, mobility.height, cell_size=radio.range_m
+            mobility.width,
+            mobility.height,
+            cell_size=radio.range_m,
+            cache_neighbors=self.fast_kernel,
         )
         self._last_sample_time = -np.inf
         self._receive_handler: Optional[ReceiveHandler] = None
+        self._batch_receive_handler = None
         self._fault_filter: Optional[FaultFilter] = None
+        # Per-generation polygon-membership memo: polygon -> bool[N];
+        # testers (precomputed edge constants) persist across generations.
+        self._polygon_cache: dict = {}
+        self._polygon_cache_gen = -1
+        self._polygon_testers: dict = {}
+        # (kind, category) -> cached Counter triple; see _count_sent.
+        self._sent_counters: dict = {}
         self._refresh_positions(force=True)
 
     # -- wiring ----------------------------------------------------------
@@ -104,6 +121,17 @@ class WirelessNetwork:
     def set_receive_handler(self, handler: ReceiveHandler) -> None:
         """Register the single upcall invoked on every packet delivery."""
         self._receive_handler = handler
+
+    def set_batch_receive_handler(self, handler) -> None:
+        """Register an optional whole-broadcast upcall for the fast kernel.
+
+        Called as ``handler(live_receivers, packet)`` before the
+        per-receiver loop of a batched broadcast delivery; returning
+        True consumes the batch (the per-receiver handler is skipped).
+        Implementations must produce effects identical to per-receiver
+        delivery — this is a fan-out optimization, not a semantic hook.
+        """
+        self._batch_receive_handler = handler
 
     def set_fault_filter(self, fault_filter: Optional[FaultFilter]) -> None:
         """Install a per-delivery :data:`FaultFilter` (None uninstalls).
@@ -121,8 +149,72 @@ class WirelessNetwork:
         if not force and self.sim.now - self._last_sample_time < self.radio.position_refresh_s:
             return
         positions = self.mobility.positions_at(self.sim.now)
+        if (
+            self.fast_kernel
+            and not force
+            and self._grid._positions is not None
+            and np.array_equal(positions, self._grid._positions)
+        ):
+            # Nobody moved (static mobility, or a pause phase): keep the
+            # current generation — and every cache keyed on it — alive.
+            # Liveness changes always come through force=True rebuilds.
+            self._last_sample_time = self.sim.now
+            return
         self._grid.rebuild(positions, self.alive)
         self._last_sample_time = self.sim.now
+
+    @property
+    def topology_generation(self) -> int:
+        """Monotone counter bumped on every spatial-index rebuild.
+
+        Query results (neighbor sets, positions, planarizations) are
+        pure functions of (generation, node); routing layers key their
+        per-topology caches on this.
+        """
+        return self._grid.generation
+
+    def node_in_polygon(self, node_id: int, polygon) -> bool:
+        """Is ``node_id`` (at its sampled position) inside ``polygon``?
+
+        Memoized per topology generation under the fast kernel — region
+        membership is re-tested for every flood reception and every
+        route-to-region arrival check, almost always against the same
+        handful of region polygons.  The first query of a polygon in a
+        generation classifies *all* nodes in one vectorized pass
+        (:class:`repro.geom.PolygonTester` is elementwise bit-identical
+        to the scalar test).
+        """
+        members = self.polygon_members(polygon)
+        if members is None:
+            self._refresh_positions()
+            return point_in_polygon(self._grid.position_of(node_id), polygon)
+        return bool(members[node_id])
+
+    def polygon_members(self, polygon):
+        """Per-generation ``bool[N]`` membership array for ``polygon``.
+
+        Returns ``None`` when unavailable (reference kernel, or an
+        unhashable polygon) — callers then fall back to the scalar
+        :func:`~repro.geom.point_in_polygon` test.
+        """
+        if not self.fast_kernel:
+            return None
+        self._refresh_positions()
+        gen = self._grid.generation
+        if gen != self._polygon_cache_gen:
+            self._polygon_cache = {}
+            self._polygon_cache_gen = gen
+        try:
+            members = self._polygon_cache.get(polygon)
+        except TypeError:  # unhashable polygon
+            return None
+        if members is None:
+            tester = self._polygon_testers.get(polygon)
+            if tester is None:
+                tester = self._polygon_testers[polygon] = PolygonTester(polygon)
+            members = tester.contains(self._grid.positions)
+            self._polygon_cache[polygon] = members
+        return members
 
     def position_of(self, node_id: int) -> Point:
         """Current (sampled) position of a node."""
@@ -201,10 +293,35 @@ class WirelessNetwork:
         """
         now = self.sim.now
         start = max(now, float(self._busy_until[src]))
-        jitter = float(self.rng.uniform(0.0, self.radio.max_jitter_s))
+        # Same stream position and bit-identical value as
+        # ``rng.uniform(0.0, j)`` (which computes ``0.0 + j * u``), one
+        # cheaper Generator call.
+        jitter = self.rng.random() * self.radio.max_jitter_s
         end = start + self.radio.tx_delay(size_bytes) + jitter
         self._busy_until[src] = end
         return end - now
+
+    def _count_sent(self, kind: str, category: str, size: float) -> None:
+        """Bump the three per-send counters through cached Counter objects.
+
+        Counters are created lazily on the first send of each
+        (kind, category) pair — the same moment plain ``stats.count``
+        calls would create them — and ``StatRegistry.reset`` zeroes
+        counters in place, so the cached references stay live across the
+        end-of-warm-up reset.
+        """
+        cached = self._sent_counters.get((kind, category))
+        if cached is None:
+            stats = self.stats
+            cached = self._sent_counters[(kind, category)] = (
+                stats.counter(kind),
+                stats.counter("net.bytes_sent"),
+                stats.counter(f"net.sent.{category}"),
+            )
+        c_kind, c_bytes, c_cat = cached
+        c_kind.value += 1.0
+        c_bytes.value += size
+        c_cat.value += 1.0
 
     # -- transmission primitives -----------------------------------------
 
@@ -224,14 +341,21 @@ class WirelessNetwork:
             attributor.open(packet, sender=src)
         try:
             self.energy.charge_bcast_send(src, size)
-            self.energy.charge_bcast_recv(receivers, size)
+            self.energy.charge_bcast_recv(receivers, size, unique=True)
         finally:
             if attributor is not None:
                 attributor.close()
-        self.stats.count("net.broadcast_sent")
-        self.stats.count("net.bytes_sent", size)
-        self.stats.count(f"net.sent.{packet.category}")
+        self._count_sent("net.broadcast_sent", packet.category, size)
         delay = self._hop_delay(src, size)
+        if self.fast_kernel and self._fault_filter is None:
+            # All receivers share one delivery time, and nothing scheduled
+            # later can obtain an earlier (time, priority, seq) key — so a
+            # single batch event delivering in receiver order is
+            # order-equivalent to one event per receiver.  Fault filters
+            # can perturb per-receiver timing, so they keep the loop.
+            if receivers.size:
+                self.sim.schedule_fast(delay, self._deliver_batch, receivers, packet)
+            return receivers
         for receiver in receivers:
             receiver = int(receiver)
             deliveries = self._filter_delivery(src, receiver, packet)
@@ -239,7 +363,10 @@ class WirelessNetwork:
                 self.stats.count("net.broadcast_dropped.injected")
                 continue
             for extra in deliveries:
-                self.sim.schedule(delay + extra, self._deliver, receiver, packet)
+                if self.fast_kernel:
+                    self.sim.schedule_fast(delay + extra, self._deliver, receiver, packet)
+                else:
+                    self.sim.schedule(delay + extra, self._deliver, receiver, packet)
         return receivers
 
     def unicast(self, src: int, dst: int, packet: Packet) -> bool:
@@ -263,17 +390,15 @@ class WirelessNetwork:
         try:
             size = packet.size_bytes
             self.energy.charge_p2p_send(src, size)
-            self.stats.count("net.unicast_sent")
-            self.stats.count("net.bytes_sent", size)
-            self.stats.count(f"net.sent.{packet.category}")
+            self._count_sent("net.unicast_sent", packet.category, size)
             neighbors = self.neighbors_of(src)
-            overhearers = neighbors[neighbors != dst]
-            self.energy.charge_discard(overhearers, size)
+            others = neighbors != dst
+            self.energy.charge_discard(neighbors[others], size, unique=True)
             if not self.alive[dst]:
                 self.stats.count("net.unicast_dropped")
                 self.stats.count("net.unicast_dropped.dead")
                 return False
-            if dst not in neighbors:
+            if others.all():  # dst not among the neighbors
                 self.stats.count("net.unicast_dropped")
                 self.stats.count("net.unicast_dropped.out_of_range")
                 return False
@@ -289,7 +414,10 @@ class WirelessNetwork:
                 return True
             self.energy.charge_p2p_recv(dst, size)
             for extra in deliveries:
-                self.sim.schedule(delay + extra, self._deliver, dst, packet)
+                if self.fast_kernel:
+                    self.sim.schedule_fast(delay + extra, self._deliver, dst, packet)
+                else:
+                    self.sim.schedule(delay + extra, self._deliver, dst, packet)
             return True
         finally:
             if attributor is not None:
@@ -317,6 +445,32 @@ class WirelessNetwork:
         self.stats.count("net.delivered")
         if self._receive_handler is not None:
             self._receive_handler(node_id, packet)
+
+    def _deliver_batch(self, receivers: np.ndarray, packet: Packet) -> None:
+        """Deliver one broadcast to all its receivers in a single event.
+
+        One heap entry stands in for ``len(receivers)`` logical delivery
+        events; the counter is topped up so ``events_executed`` counts
+        logical events identically under both kernels (the bench's
+        events/sec and the slow-kernel reference stay comparable).
+
+        ``net.delivered`` is bumped once for the whole batch: counter
+        values are integers in float64, exact up to 2**53, so one add of
+        ``k`` equals ``k`` adds of one, and nothing inside a single
+        event's execution reads the counter in between.
+        """
+        self.sim.events_executed += len(receivers) - 1
+        live = receivers[self.alive[receivers]]
+        if live.size == 0:
+            return
+        self.stats.count("net.delivered", int(live.size))
+        batch_handler = self._batch_receive_handler
+        if batch_handler is not None and batch_handler(live, packet):
+            return
+        handler = self._receive_handler
+        if handler is not None:
+            for receiver in live.tolist():
+                handler(receiver, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

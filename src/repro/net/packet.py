@@ -5,12 +5,17 @@ A :class:`Packet` is the unit handed to the radio: an opaque protocol
 model charges for.  Each forwarding hop creates a shallow copy with an
 incremented hop count, so receivers can measure path lengths without the
 routing layer threading extra state.
+
+Packets are the highest-churn objects in a run (one per hop), so the
+class is a plain ``__slots__`` struct rather than a dataclass: fixed
+slot storage, no per-instance ``__dict__``, and a hop-copy constructor
+that skips default resolution and validation for fields the copy
+inherits unchanged.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["Packet", "HEADER_BYTES"]
@@ -23,7 +28,9 @@ HEADER_BYTES = 32
 _packet_ids = itertools.count()
 
 
-@dataclass
+_UNSET = object()
+
+
 class Packet:
     """One radio transmission unit.
 
@@ -51,28 +58,71 @@ class Packet:
         how the paper's control-message-overhead metric is measured.
     """
 
-    payload: Any
-    size_bytes: float
-    src: int
-    dst: Optional[int] = None
-    hops: int = 0
-    created_at: float = 0.0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    category: str = "data"
+    __slots__ = (
+        "payload",
+        "size_bytes",
+        "src",
+        "dst",
+        "hops",
+        "created_at",
+        "packet_id",
+        "category",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+    def __init__(
+        self,
+        payload: Any,
+        size_bytes: float,
+        src: int,
+        dst: Optional[int] = None,
+        hops: int = 0,
+        created_at: float = 0.0,
+        packet_id: Any = _UNSET,
+        category: str = "data",
+    ):
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.src = src
+        self.dst = dst
+        self.hops = hops
+        self.created_at = created_at
+        self.packet_id = next(_packet_ids) if packet_id is _UNSET else packet_id
+        self.category = category
 
     def next_hop_copy(self, src: int, dst: Optional[int] = None) -> "Packet":
         """Clone for retransmission by ``src``, keeping the logical id."""
-        return Packet(
-            payload=self.payload,
-            size_bytes=self.size_bytes,
-            src=src,
-            dst=dst,
-            hops=self.hops + 1,
-            created_at=self.created_at,
-            packet_id=self.packet_id,
-            category=self.category,
+        clone = Packet.__new__(Packet)
+        clone.payload = self.payload
+        clone.size_bytes = self.size_bytes
+        clone.src = src
+        clone.dst = dst
+        clone.hops = self.hops + 1
+        clone.created_at = self.created_at
+        clone.packet_id = self.packet_id
+        clone.category = self.category
+        return clone
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return (
+            self.payload == other.payload
+            and self.size_bytes == other.size_bytes
+            and self.src == other.src
+            and self.dst == other.dst
+            and self.hops == other.hops
+            and self.created_at == other.created_at
+            and self.packet_id == other.packet_id
+            and self.category == other.category
+        )
+
+    __hash__ = None  # mutable struct, like the dataclass it replaces
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(id={self.packet_id}, src={self.src}, dst={self.dst}, "
+            f"size={self.size_bytes:g}, hops={self.hops}, "
+            f"category={self.category!r})"
         )

@@ -9,6 +9,17 @@ all in-range nodes of a point lie in its 3x3 cell neighborhood.
 The index is rebuilt from a full ``(N, 2)`` position array (a single
 vectorized pass); the owning :class:`~repro.net.network.WirelessNetwork`
 refreshes it lazily as simulation time advances.
+
+Each rebuild starts a new *topology generation* (monotone counter).
+Positions are frozen within a generation, so per-node query results are
+pure functions of (generation, node) — with ``cache_neighbors=True``
+the grid memoizes :meth:`neighbors_of` per generation, filling a whole
+cell's occupants in one vectorized pass the first time any of them asks.
+The cached arrays are built by exactly the same candidate-ordering and
+distance arithmetic as the uncached path (3x3 cell block in row-major
+order, ascending node id within each cell, float64 ops elementwise
+identical), so cached and uncached answers are bit-identical — the
+golden-digest suite depends on this.
 """
 
 from __future__ import annotations
@@ -34,7 +45,9 @@ class SpatialGrid:
         Cell side; use the radio range so a 3x3 cell block covers it.
     """
 
-    def __init__(self, width: float, height: float, cell_size: float):
+    def __init__(
+        self, width: float, height: float, cell_size: float, cache_neighbors: bool = False
+    ):
         if cell_size <= 0:
             raise ValueError(f"cell_size must be positive, got {cell_size}")
         self.width = float(width)
@@ -46,6 +59,17 @@ class SpatialGrid:
         self._alive: Optional[np.ndarray] = None
         # cell id -> array of node ids in that cell (live nodes only)
         self._cells: Dict[int, np.ndarray] = {}
+        #: Monotone rebuild counter; consumers key per-topology caches on it.
+        self.generation = 0
+        self.cache_neighbors = bool(cache_neighbors)
+        self._cell_of: Optional[np.ndarray] = None  # per-node clamped cell id
+        self._rows: Optional[np.ndarray] = None
+        self._cols: Optional[np.ndarray] = None
+        self._neighbor_cache: Dict[int, np.ndarray] = {}
+        self._cache_radius: Optional[float] = None
+        #: Above this many live nodes the one-shot all-pairs fill would
+        #: need O(L^2) memory; larger populations fill cell by cell.
+        self.bulk_fill_limit = 1500
 
     # -- building --------------------------------------------------------
 
@@ -66,6 +90,12 @@ class SpatialGrid:
         cell_ids = rows * self.n_cols + cols
         live_ids = np.flatnonzero(alive)
         self._cells = {}
+        self.generation += 1
+        self._cell_of = cell_ids
+        self._rows = rows
+        self._cols = cols
+        self._neighbor_cache = {}
+        self._cache_radius = None
         if live_ids.size == 0:
             return
         live_cells = cell_ids[live_ids]
@@ -122,12 +152,119 @@ class SpatialGrid:
         return cand[dist_sq <= radius * radius]
 
     def neighbors_of(self, node_id: int, radius: float) -> np.ndarray:
-        """Live nodes within ``radius`` of ``node_id``, excluding itself."""
+        """Live nodes within ``radius`` of ``node_id``, excluding itself.
+
+        With ``cache_neighbors`` on, results are memoized per topology
+        generation; the returned array is shared across calls and must
+        not be mutated by callers.
+        """
         if self._positions is None:
             raise RuntimeError("SpatialGrid.rebuild() must be called before querying")
+        if self.cache_neighbors:
+            cached = self._neighbor_cache.get(node_id)
+            if cached is None:
+                if self._cache_radius is None:
+                    self._bulk_fill_neighbor_cache(radius)
+                    cached = self._neighbor_cache.get(node_id)
+                if cached is None:
+                    cached = self._fill_neighbor_cache(node_id, radius)
+            if cached is not None:
+                return cached
         point = (float(self._positions[node_id, 0]), float(self._positions[node_id, 1]))
         ids = self.within_range(point, radius)
         return ids[ids != node_id]
+
+    def _bulk_fill_neighbor_cache(self, radius: float) -> None:
+        """Memoize every live node's neighbor set in one vectorized pass.
+
+        Runs once per (generation, radius), on the first cached query.
+        The per-node candidate *order* of the cell-walk path — 3x3 block
+        row-major, ascending id within each cell — is reproduced by
+        sorting each node's in-range pairs on (relative-cell block
+        index, node id); in-range pairs always lie in adjacent cells
+        (``radius <= cell_size``), so the block index is well defined.
+        Distance arithmetic is the same elementwise float64 subtract/
+        square/compare as :meth:`within_range`, keeping cached answers
+        bit-identical.  Populations above :attr:`bulk_fill_limit` skip
+        this (O(live^2) memory) and fill cell by cell instead.
+        """
+        self._cache_radius = radius
+        if radius > self.cell_size * (1 + 1e-9):
+            return
+        live_ids = np.flatnonzero(self._alive)
+        n_live = live_ids.size
+        if n_live == 0 or n_live > self.bulk_fill_limit:
+            return
+        pos = self._positions[live_ids]
+        diff = pos[None, :, :] - pos[:, None, :]
+        dist_sq = diff[:, :, 0] ** 2 + diff[:, :, 1] ** 2
+        mask = dist_sq <= radius * radius
+        np.fill_diagonal(mask, False)
+        rows = self._rows[live_ids]
+        cols = self._cols[live_ids]
+        ii, jj = np.nonzero(mask)
+        cache = self._neighbor_cache
+        if ii.size == 0:
+            empty = np.empty(0, dtype=np.intp)
+            for nid in live_ids.tolist():
+                cache[nid] = empty
+            return
+        block = (rows[jj] - rows[ii] + 1) * 3 + (cols[jj] - cols[ii] + 1)
+        order = np.lexsort((jj, block, ii))
+        ii = ii[order]
+        neighbors_sorted = live_ids[jj[order]]
+        starts = np.flatnonzero(np.diff(ii)) + 1
+        bounds = np.concatenate([[0], starts, [ii.size]])
+        empty = np.empty(0, dtype=np.intp)
+        for nid in live_ids.tolist():
+            cache[nid] = empty
+        for k in range(bounds.size - 1):
+            s = int(bounds[k])
+            cache[int(live_ids[ii[s]])] = neighbors_sorted[s : int(bounds[k + 1])]
+
+    def _fill_neighbor_cache(self, node_id: int, radius: float) -> Optional[np.ndarray]:
+        """Memoize neighbor sets for every live occupant of ``node_id``'s cell.
+
+        All occupants of a cell share the same 3x3 candidate block, so
+        one broadcasted (occupants x candidates) distance pass fills the
+        whole cell.  Returns ``node_id``'s entry, or ``None`` when the
+        node is not cacheable (dead, or a different query radius) — the
+        caller then falls back to the uncached path.
+        """
+        if self._cache_radius != radius:
+            # Single-radius memo: the owning network always queries at
+            # radio range.  An off-radius query flushes and re-keys.
+            self._neighbor_cache = {}
+            self._cache_radius = radius
+        if radius > self.cell_size * (1 + 1e-9):
+            return None
+        cell = int(self._cell_of[node_id])
+        bucket = self._cells.get(cell)
+        if bucket is None or node_id not in bucket:
+            return None  # dead node: keep the legacy per-call behaviour
+        row, col = divmod(cell, self.n_cols)
+        chunks: List[np.ndarray] = []
+        for dr in (-1, 0, 1):
+            r = row + dr
+            if r < 0 or r >= self.n_rows:
+                continue
+            base = r * self.n_cols
+            for dc in (-1, 0, 1):
+                c = col + dc
+                if c < 0 or c >= self.n_cols:
+                    continue
+                blk = self._cells.get(base + c)
+                if blk is not None:
+                    chunks.append(blk)
+        cand = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.intp)
+        diff = self._positions[cand][None, :, :] - self._positions[bucket][:, None, :]
+        dist_sq = diff[:, :, 0] ** 2 + diff[:, :, 1] ** 2
+        mask = dist_sq <= radius * radius
+        cache = self._neighbor_cache
+        for k, occupant in enumerate(bucket.tolist()):
+            ids = cand[mask[k]]
+            cache[occupant] = ids[ids != occupant]
+        return cache[node_id]
 
     def position_of(self, node_id: int) -> Point:
         if self._positions is None:

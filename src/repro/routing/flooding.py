@@ -18,9 +18,10 @@ paper's cost model where a flood is processed by every node once.
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional
 
-from repro.geom import point_in_polygon
+import numpy as np
+
 from repro.net.network import WirelessNetwork
 from repro.net.packet import Packet
 from repro.routing.envelopes import FloodEnvelope
@@ -34,8 +35,11 @@ class Flooder:
     def __init__(self, network: WirelessNetwork):
         self.network = network
         self.stats = network.stats
-        # (packet_id, node_id) pairs already processed.
-        self._seen: Set[Tuple[int, int]] = set()
+        # Duplicate suppression: packet_id -> bool[n_nodes] "processed"
+        # mask.  A whole receiver batch dedups in one fancy-indexed read
+        # instead of per-node set probes.
+        self._seen: Dict[int, np.ndarray] = {}
+        self._n_nodes = network.n_nodes
         #: Optional :class:`repro.obs.profile.PerfProfiler`; when set,
         #: flood handling is timed under "routing.flood".
         self.profile = None
@@ -61,7 +65,8 @@ class Flooder:
             created_at=self.network.sim.now,
             category=category,
         )
-        self._seen.add((packet.packet_id, origin))
+        seen = self._seen[packet.packet_id] = np.zeros(self._n_nodes, dtype=bool)
+        seen[origin] = True
         self.stats.count("flood.initiated")
         self.network.broadcast(origin, packet)
         return packet
@@ -80,17 +85,20 @@ class Flooder:
         return self._handle_impl(node_id, packet)
 
     def _handle_impl(self, node_id: int, packet: Packet) -> bool:
-        key = (packet.packet_id, node_id)
-        if key in self._seen:
+        seen = self._seen.get(packet.packet_id)
+        if seen is None:
+            seen = self._seen[packet.packet_id] = np.zeros(self._n_nodes, dtype=bool)
+        if seen[node_id]:
             self.stats.count("flood.duplicate")
             return False
-        self._seen.add(key)
+        seen[node_id] = True
         envelope: FloodEnvelope = packet.payload
 
         # Region scoping: out-of-region nodes drop without processing.
+        # Membership goes through the network's per-generation memo (the
+        # same polygon is re-tested by every member of a flooded region).
         if envelope.region is not None:
-            pos = self.network.position_of(node_id)
-            if not point_in_polygon(pos, envelope.region):
+            if not self.network.node_in_polygon(node_id, envelope.region):
                 self.stats.count("flood.out_of_scope")
                 return False
 
@@ -101,6 +109,58 @@ class Flooder:
         elif ttl > 0:
             self._rebroadcast(node_id, packet, ttl - 1)
         return True
+
+    def handle_batch(self, receivers, packet: Packet, deliver) -> None:
+        """Process one broadcast's whole receiver batch in order.
+
+        ``receivers`` must be free of intra-batch duplicates — the
+        caller passes one broadcast's neighbor array, whose ids are
+        unique by construction (duplicate *suppression* is about the
+        same node hearing different broadcasts of the same flood).
+
+        Effect-for-effect identical to calling :meth:`handle` per
+        receiver (fresh receivers keep their batch order, so
+        rebroadcasts draw RNG jitter and schedule events in the same
+        sequence); the duplicate and out-of-scope counters are bumped
+        once per batch, which yields the same totals.
+        ``deliver(node_id, inner, packet)`` is invoked for each
+        first-time in-scope reception.
+        """
+        seen = self._seen.get(packet.packet_id)
+        if seen is None:
+            seen = self._seen[packet.packet_id] = np.zeros(self._n_nodes, dtype=bool)
+        dup_mask = seen[receivers]
+        duplicates = int(dup_mask.sum())
+        fresh = receivers[~dup_mask] if duplicates else receivers
+        seen[fresh] = True
+        envelope: FloodEnvelope = packet.payload
+        region = envelope.region
+        network = self.network
+        out_of_scope = 0
+        scalar_scope_check = False
+        if region is not None and fresh.size:
+            members = network.polygon_members(region)
+            if members is None:
+                scalar_scope_check = True  # unhashable region: per-node test
+            else:
+                in_scope = members[fresh]
+                out_of_scope = fresh.size - int(in_scope.sum())
+                if out_of_scope:
+                    fresh = fresh[in_scope]
+        ttl = envelope.ttl
+        next_ttl = None if ttl is None else ttl - 1
+        inner = envelope.inner
+        for node_id in fresh.tolist():
+            if scalar_scope_check and not network.node_in_polygon(node_id, region):
+                out_of_scope += 1
+                continue
+            if ttl is None or ttl > 0:
+                self._rebroadcast(node_id, packet, next_ttl)
+            deliver(node_id, inner, packet)
+        if duplicates:
+            self.stats.count("flood.duplicate", duplicates)
+        if out_of_scope:
+            self.stats.count("flood.out_of_scope", out_of_scope)
 
     def _rebroadcast(self, node_id: int, packet: Packet, ttl: Optional[int]) -> None:
         envelope: FloodEnvelope = packet.payload
@@ -119,4 +179,4 @@ class Flooder:
 
     def forget(self, packet_id: int) -> None:
         """Release duplicate-suppression state for a finished flood."""
-        self._seen = {k for k in self._seen if k[0] != packet_id}
+        self._seen.pop(packet_id, None)

@@ -34,11 +34,11 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.geom import angle_of, distance, point_in_polygon
+from repro.geom import angle_of, distance
 from repro.net.network import WirelessNetwork
 from repro.net.packet import Packet
 from repro.routing.envelopes import GREEDY, PERIMETER, GeoEnvelope
-from repro.routing.planarization import gabriel_neighbors
+from repro.routing.planarization import PlanarizationCache, gabriel_neighbors
 
 __all__ = ["GpsrRouter"]
 
@@ -62,6 +62,16 @@ class GpsrRouter:
         self.on_drop = on_drop
         self.planarizer = planarizer
         self.stats = network.stats
+        # Fast-kernel memos, all keyed on the network's topology
+        # generation (positions are frozen within one): the planar
+        # neighbor set + its edge angles per node, and the gathered
+        # neighbor-position array per node.  Contents are bit-identical
+        # to what the uncached code recomputes per packet.
+        self._fast = getattr(network, "fast_kernel", False)
+        self._planar_cache = PlanarizationCache(planarizer)
+        self._angle_cache: dict = {}
+        self._nbr_pos_cache: dict = {}
+        self._cache_generation = -1
         #: Optional ``callback(src, dst, packet)`` fired on every hop
         #: decision — the tracer's ``gpsr.hop`` span hook.
         self.on_hop = None
@@ -95,9 +105,9 @@ class GpsrRouter:
         """Has the packet reached its routing destination at ``node_id``?"""
         if envelope.dest_node is not None:
             return node_id == envelope.dest_node
-        pos = self.network.position_of(node_id)
         if envelope.region is not None:
-            return point_in_polygon(pos, envelope.region)
+            return self.network.node_in_polygon(node_id, envelope.region)
+        pos = self.network.position_of(node_id)
         return distance(pos, envelope.dest_point) <= envelope.arrival_radius
 
     def handle(self, node_id: int, packet: Packet) -> bool:
@@ -138,6 +148,10 @@ class GpsrRouter:
         here = self.network.position_of(node_id)
         dest = envelope.dest_point
         positions = self.network.positions()
+        if self._fast:
+            # neighbors_of() above already refreshed the spatial index,
+            # so the generation is stable for the rest of this decision.
+            self._sync_caches()
 
         if envelope.mode == PERIMETER:
             # Escape back to greedy as soon as we beat the entry point.
@@ -147,7 +161,7 @@ class GpsrRouter:
                 envelope.first_edge = None
 
         if envelope.mode == GREEDY:
-            next_hop = self._greedy_next(here, dest, neighbors, positions)
+            next_hop = self._greedy_next(node_id, here, dest, neighbors, positions)
             if next_hop is not None:
                 self._transmit(node_id, next_hop, packet, reset_prev=True)
                 return
@@ -171,20 +185,75 @@ class GpsrRouter:
             return
         self._transmit(node_id, next_hop, packet, reset_prev=False)
 
+    def _sync_caches(self) -> None:
+        """Reset per-generation memos when the topology advanced."""
+        generation = self.network.topology_generation
+        if generation != self._cache_generation:
+            self._cache_generation = generation
+            self._angle_cache.clear()
+            self._nbr_pos_cache.clear()
+        self._planar_cache.planarizer = self.planarizer
+        self._planar_cache.sync(generation)
+
     def _greedy_next(
         self,
+        node_id: int,
         here,
         dest,
         neighbors: np.ndarray,
         positions: np.ndarray,
     ) -> Optional[int]:
         """Neighbor strictly closer to dest than we are, else None."""
-        diff = positions[neighbors] - np.asarray(dest, dtype=float)
+        if self._fast:
+            nbr_pos = self._nbr_pos_cache.get(node_id)
+            if nbr_pos is None:
+                nbr_pos = positions[neighbors]
+                self._nbr_pos_cache[node_id] = nbr_pos
+        else:
+            nbr_pos = positions[neighbors]
+        diff = nbr_pos - np.asarray(dest, dtype=float)
         dists = np.hypot(diff[:, 0], diff[:, 1])
         best = int(np.argmin(dists))
         if dists[best] < distance(here, dest):
             return int(neighbors[best])
         return None
+
+    def _planar_with_angles(
+        self,
+        node_id: int,
+        here,
+        neighbors: np.ndarray,
+        positions: np.ndarray,
+    ):
+        """Planar neighbor ids of ``node_id`` with their edge angles.
+
+        Both are pure functions of the topology generation, so under the
+        fast kernel they are computed once per (generation, node) rather
+        than once per perimeter-mode packet.  The angles come from the
+        same :func:`repro.geom.angle_of` (CPython ``math.atan2``) as the
+        uncached path — never a numpy reimplementation, whose libm could
+        round differently and silently split the digests.
+        """
+        if self._fast:
+            cached = self._angle_cache.get(node_id)
+            if cached is not None:
+                return cached
+            planar = self._planar_cache.planar(
+                node_id, np.asarray(here, dtype=float), positions[neighbors], neighbors
+            )
+        else:
+            planar = self.planarizer(
+                np.asarray(here, dtype=float), positions[neighbors], neighbors
+            )
+        planar_ids = [int(nid) for nid in planar]
+        angles = [
+            angle_of(here, (positions[nid][0], positions[nid][1]))
+            for nid in planar_ids
+        ]
+        result = (planar_ids, angles)
+        if self._fast:
+            self._angle_cache[node_id] = result
+        return result
 
     def _perimeter_next(
         self,
@@ -195,10 +264,10 @@ class GpsrRouter:
         positions: np.ndarray,
     ) -> Optional[int]:
         """Right-hand-rule next hop on the planarized neighbor set."""
-        planar = self.planarizer(
-            np.asarray(here, dtype=float), positions[neighbors], neighbors
+        planar_ids, angles = self._planar_with_angles(
+            node_id, here, neighbors, positions
         )
-        if planar.size == 0:
+        if not planar_ids:
             return None
         # Reference direction: the edge we arrived on, or towards the
         # destination when entering perimeter mode.
@@ -209,16 +278,15 @@ class GpsrRouter:
         best_id: Optional[int] = None
         best_angle = math.inf
         two_pi = 2.0 * math.pi
-        for nid in planar:
-            theta = angle_of(here, (positions[nid][0], positions[nid][1]))
+        for nid, theta in zip(planar_ids, angles):
             ccw = (theta - ref) % two_pi
             if ccw <= 1e-12:  # arrival edge itself: only as last resort
                 ccw = two_pi
             if ccw < best_angle:
                 best_angle = ccw
-                best_id = int(nid)
-        if best_id is None and planar.size > 0:
-            best_id = int(planar[0])
+                best_id = nid
+        if best_id is None and planar_ids:
+            best_id = planar_ids[0]
         return best_id
 
     def _transmit(self, src: int, dst: int, packet: Packet, reset_prev: bool) -> None:

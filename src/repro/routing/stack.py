@@ -30,6 +30,7 @@ __all__ = ["NetworkStack"]
 AppHandler = Callable[[int, Any, Packet], None]
 DropHandler = Callable[[int, Packet], None]
 InterceptHandler = Callable[[int, Any, Packet], bool]
+AppBatchHandler = Callable[[Any, Any, Packet], bool]
 
 
 class NetworkStack:
@@ -44,12 +45,27 @@ class NetworkStack:
         self._app_handler: Optional[AppHandler] = None
         self._drop_handler: Optional[DropHandler] = None
         self._intercept_handler: Optional[InterceptHandler] = None
+        self._app_batch_handler: Optional[AppBatchHandler] = None
         network.set_receive_handler(self._on_receive)
+        network.set_batch_receive_handler(self._on_receive_batch)
 
     # -- wiring ----------------------------------------------------------
 
     def set_app_handler(self, handler: AppHandler) -> None:
         self._app_handler = handler
+
+    def set_app_batch_handler(self, handler: AppBatchHandler) -> None:
+        """Register the whole-broadcast application upcall.
+
+        Called as ``handler(receiver_ids, inner, packet)`` with every
+        live receiver of one bare (non-enveloped) broadcast; returning
+        True consumes the batch, False falls back to one
+        :meth:`set_app_handler` upcall per receiver.  Lets the
+        application absorb per-receiver-stateless traffic (HELLO
+        beacons) in O(1) instead of O(receivers) — observable effects
+        must be identical either way.
+        """
+        self._app_batch_handler = handler
 
     def set_drop_handler(self, handler: DropHandler) -> None:
         """Called when a geo-routed packet is dropped (routing failure)."""
@@ -143,6 +159,27 @@ class NetworkStack:
                 self._deliver(node_id, payload.inner, packet)
         else:
             self._deliver(node_id, payload, packet)
+
+    def _on_receive_batch(self, receivers, packet: Packet) -> bool:
+        """Whole-broadcast upcall from the fast kernel.
+
+        Only bare payloads are batchable: geo/flood envelopes carry
+        per-receiver routing state (dedup sets, region scoping) and take
+        the per-receiver path.
+        """
+        payload = packet.payload
+        if isinstance(payload, GeoEnvelope):
+            return False
+        if isinstance(payload, FloodEnvelope):
+            if self.flooder.profile is not None:
+                # Keep the "routing.flood" profile section's per-call
+                # accounting intact under the profiler.
+                return False
+            self.flooder.handle_batch(receivers, packet, self._deliver)
+            return True
+        if self._app_batch_handler is not None:
+            return self._app_batch_handler(receivers, payload, packet)
+        return False
 
     def _deliver(self, node_id: int, inner: Any, packet: Packet) -> None:
         if self._app_handler is not None:

@@ -14,12 +14,29 @@ API are offered:
   instances to suspend itself; this is the convenient path used by
   workload generators and peer behaviours.
 
+Event records
+-------------
+Heap entries come in two layouts sharing one ``(time, priority, seq)``
+key prefix, so both sort through the same :mod:`heapq`:
+
+* ``(time, priority, seq, EventHandle, None)`` — a *cancellable* event;
+  the handle allows O(1) lazy cancellation, and
+* ``(time, priority, seq, callback, args)`` — a *fast* event
+  (:meth:`Simulator.schedule_fast`): the record is the heap tuple
+  itself, with no per-event handle object allocated.  Fire-and-forget
+  traffic (packet deliveries, batched broadcasts) uses this layout.
+
+The two layouts are told apart by slot 4: ``None`` marks a handle entry
+(``args`` of a fast event is always a tuple).  The shared ``seq``
+counter means tuple comparison never reaches slot 3, so handles and
+callbacks never need ordering of their own.
+
 Determinism
 -----------
 Events scheduled for the same virtual time are executed in ``(priority,
 sequence)`` order, where ``sequence`` is a monotonically increasing
-insertion counter.  Given identical inputs and seeds a run is exactly
-reproducible, which the test suite relies on.
+insertion counter shared by both event layouts.  Given identical inputs
+and seeds a run is exactly reproducible, which the test suite relies on.
 """
 
 from __future__ import annotations
@@ -349,7 +366,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, int, EventHandle]] = []
+        # Entries: (time, priority, seq, EventHandle, None) — cancellable —
+        # or (time, priority, seq, callback, args) — fast, fire-and-forget.
+        self._queue: List[Tuple[float, int, int, Any, Any]] = []
         self._sequence = itertools.count()
         self._live_processes: set = set()
         self._running = False
@@ -393,8 +412,47 @@ class Simulator:
                 f"cannot schedule into the past (time={time!r}, now={self.now!r})"
             )
         handle = EventHandle(time, callback, args)
-        heapq.heappush(self._queue, (time, priority, next(self._sequence), handle))
+        heapq.heappush(self._queue, (time, priority, next(self._sequence), handle, None))
         return handle
+
+    def schedule_fast(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Schedule a *fire-and-forget* callback: no cancellation handle.
+
+        Same time/priority/insertion-order semantics as :meth:`schedule`
+        (the two share one sequence counter, so fast and cancellable
+        events interleave exactly by insertion order), but the event
+        record is the heap tuple itself — nothing else is allocated.
+        Use for the delivery-heavy network hot path; anything that may
+        need :meth:`EventHandle.cancel` must use :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(
+            self._queue,
+            (self.now + delay, priority, next(self._sequence), callback, args),
+        )
+
+    def schedule_at_fast(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Absolute-time variant of :meth:`schedule_fast`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time!r}, now={self.now!r})"
+            )
+        heapq.heappush(
+            self._queue, (time, priority, next(self._sequence), callback, args)
+        )
 
     def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
         """Start a generator as a cooperative process."""
@@ -416,17 +474,20 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
         while self._queue:
-            time, _priority, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
+            time, _priority, _seq, target, args = heapq.heappop(self._queue)
+            if args is None:  # cancellable entry: target is an EventHandle
+                if target.cancelled:
+                    continue
+                args = target.args
+                target = target.callback
             self.now = time
             self.events_executed += 1
             try:
                 if self.profile is not None:
                     with self.profile.perf_section("engine.dispatch"):
-                        handle.callback(*handle.args)
+                        target(*args)
                 else:
-                    handle.callback(*handle.args)
+                    target(*args)
             except Exception as exc:
                 if self.on_crash is not None:
                     self.on_crash(exc)
@@ -436,9 +497,10 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Virtual time of the next pending event, or None if idle."""
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][4] is None and queue[0][3].cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or the event
@@ -452,16 +514,40 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         executed = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+            # Inlined peek()+step(): one heap access per event instead of
+            # two, and no per-event method-call overhead — semantics are
+            # identical (same skip/clock/counter/hook behaviour).
+            while queue:
+                head = queue[0]
+                if head[4] is None and head[3].cancelled:
+                    pop(queue)
+                    continue
+                time = head[0]
+                if until is not None and time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
+                pop(queue)
+                target = head[3]
+                args = head[4]
+                if args is None:
+                    args = target.args
+                    target = target.callback
+                self.now = time
+                self.events_executed += 1
+                try:
+                    if self.profile is not None:
+                        with self.profile.perf_section("engine.dispatch"):
+                            target(*args)
+                    else:
+                        target(*args)
+                except Exception as exc:
+                    if self.on_crash is not None:
+                        self.on_crash(exc)
+                    raise
                 executed += 1
             if until is not None and self.now < until:
                 self.now = until
@@ -471,7 +557,11 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for entry in self._queue if not entry[3].cancelled)
+        return sum(
+            1
+            for entry in self._queue
+            if entry[4] is not None or not entry[3].cancelled
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now!r}, pending={self.pending_events})"

@@ -153,7 +153,16 @@ class StatRegistry:
     # -- convenience -----------------------------------------------------
 
     def count(self, name: str, amount: float = 1.0) -> None:
-        self.counter(name).add(amount)
+        # Hottest call in the simulation (every packet touches several
+        # counters): one dict probe and an unguarded add.  Negative
+        # amounts only ever come from direct Counter.add callers, which
+        # keep the guard.
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        if amount < 0:
+            raise ValueError(f"counter {name!r} cannot decrease (amount={amount})")
+        c.value += amount
 
     def observe(self, name: str, value: float) -> None:
         self.accumulator(name).add(value)

@@ -1,0 +1,264 @@
+"""Bit-equivalence tests for the vectorized fast-kernel paths.
+
+The golden-digest suite (tests/test_golden_digests.py) catches *any*
+fast/reference divergence end-to-end; the tests here pin each fast path
+in isolation so a divergence points at the responsible layer:
+
+* ``PolygonTester`` / ``points_in_polygon`` vs the scalar
+  ``point_in_polygon`` — including boundary points, vertices, and
+  degenerate polygons;
+* the spatial grid's one-shot bulk neighbor fill vs the per-cell fill
+  vs uncached per-call queries — not just the same *sets*, the same
+  *order* (neighbor order feeds RNG draw order downstream);
+* ``Flooder.handle_batch`` vs per-receiver ``handle`` — same
+  deliveries, same delivery order, same duplicate/out-of-scope counter
+  totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geom import PolygonTester, point_in_polygon, points_in_polygon
+from repro.net.topology import SpatialGrid
+
+
+# ---------------------------------------------------------------------------
+# Vectorized point-in-polygon
+# ---------------------------------------------------------------------------
+
+SQUARE = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+CONCAVE = [(0.0, 0.0), (8.0, 0.0), (8.0, 8.0), (4.0, 3.0), (0.0, 8.0)]
+TRIANGLE = [(1.0, 1.0), (9.0, 2.0), (5.0, 9.0)]
+
+
+class TestPointsInPolygon:
+    @pytest.mark.parametrize("verts", [SQUARE, CONCAVE, TRIANGLE])
+    def test_matches_scalar_on_fuzz(self, verts):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(-2.0, 12.0, size=(400, 2))
+        got = points_in_polygon(pts, verts)
+        want = np.array(
+            [point_in_polygon((x, y), verts) for x, y in pts.tolist()]
+        )
+        assert got.dtype == bool
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("verts", [SQUARE, CONCAVE, TRIANGLE])
+    def test_matches_scalar_on_boundary_points(self, verts):
+        # Vertices, edge midpoints, and points a hair off each edge —
+        # exactly where the eps-banded boundary test could diverge.
+        pts = []
+        n = len(verts)
+        for i in range(n):
+            ax, ay = verts[i]
+            bx, by = verts[(i + 1) % n]
+            pts.append((ax, ay))
+            pts.append(((ax + bx) / 2.0, (ay + by) / 2.0))
+            pts.append(((ax + bx) / 2.0 + 1e-12, (ay + by) / 2.0))
+            pts.append((ax + 0.25 * (bx - ax), ay + 0.25 * (by - ay)))
+        arr = np.asarray(pts)
+        got = points_in_polygon(arr, verts)
+        want = np.array([point_in_polygon(p, verts) for p in pts])
+        np.testing.assert_array_equal(got, want)
+
+    def test_degenerate_polygons(self):
+        for verts in ([], [(1.0, 1.0)], [(1.0, 1.0), (2.0, 2.0)]):
+            pts = np.array([[1.0, 1.0], [5.0, 5.0]])
+            got = points_in_polygon(pts, verts)
+            want = np.array([point_in_polygon((x, y), verts)
+                             for x, y in pts.tolist()])
+            np.testing.assert_array_equal(got, want)
+
+    def test_tester_reusable_across_batches(self):
+        tester = PolygonTester(CONCAVE)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            pts = rng.uniform(-1.0, 9.0, size=(50, 2))
+            want = np.array([point_in_polygon((x, y), CONCAVE)
+                             for x, y in pts.tolist()])
+            np.testing.assert_array_equal(tester.contains(pts), want)
+
+
+# ---------------------------------------------------------------------------
+# Spatial grid: bulk fill vs per-cell fill vs uncached, order-exact
+# ---------------------------------------------------------------------------
+
+def _grids_with_nodes(n=120, seed=5, radius=90.0, alive_frac=1.0):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0.0, 600.0, size=(n, 2))
+    alive = rng.random(n) < alive_frac
+    cached = SpatialGrid(600.0, 600.0, cell_size=radius, cache_neighbors=True)
+    uncached = SpatialGrid(600.0, 600.0, cell_size=radius,
+                           cache_neighbors=False)
+    cached.rebuild(pos, alive.copy())
+    uncached.rebuild(pos, alive.copy())
+    return cached, uncached, np.flatnonzero(alive), radius
+
+
+class TestGridNeighborOrderExactness:
+    @pytest.mark.parametrize("alive_frac", [1.0, 0.7])
+    def test_bulk_fill_matches_uncached_order(self, alive_frac):
+        cached, uncached, live, radius = _grids_with_nodes(
+            alive_frac=alive_frac
+        )
+        for nid in live.tolist():
+            a = cached.neighbors_of(nid, radius)
+            b = uncached.neighbors_of(nid, radius)
+            assert a.tolist() == b.tolist(), f"node {nid}"
+        assert cached._cache_radius == radius
+
+    def test_per_cell_fallback_matches_bulk(self):
+        # Force the per-cell fallback by dropping the bulk limit to 0;
+        # both cached strategies must agree with the uncached walk.
+        bulk, uncached, live, radius = _grids_with_nodes()
+        percell, _, _, _ = _grids_with_nodes()
+        percell.bulk_fill_limit = 0
+        for nid in live.tolist():
+            want = uncached.neighbors_of(nid, radius).tolist()
+            assert bulk.neighbors_of(nid, radius).tolist() == want
+            assert percell.neighbors_of(nid, radius).tolist() == want
+
+    def test_oversize_radius_rejected_cached_and_uncached(self):
+        # radius > cell_size breaks the 3x3-block precondition; both
+        # the cached (bulk-fill) and uncached paths must refuse rather
+        # than answer with missing neighbors.
+        cached, uncached, live, _ = _grids_with_nodes()
+        radius = cached.cell_size * 2.5
+        nid = int(live[0])
+        with pytest.raises(ValueError, match="exceeds cell_size"):
+            cached.neighbors_of(nid, radius)
+        with pytest.raises(ValueError, match="exceeds cell_size"):
+            uncached.neighbors_of(nid, radius)
+
+    def test_rebuild_invalidates_cache(self):
+        cached, _, live, radius = _grids_with_nodes()
+        nid = int(live[0])
+        cached.neighbors_of(nid, radius)
+        gen = cached.generation
+        rng = np.random.default_rng(99)
+        cached.rebuild(rng.uniform(0.0, 600.0, size=(120, 2)))
+        assert cached.generation == gen + 1
+        assert cached._cache_radius is None
+
+
+# ---------------------------------------------------------------------------
+# Flooder.handle_batch vs per-receiver handle
+# ---------------------------------------------------------------------------
+
+class _StubNetwork:
+    """Minimal WirelessNetwork stand-in for Flooder unit tests."""
+
+    def __init__(self, n_nodes, members=None):
+        from repro.sim import Simulator
+        from repro.sim.trace import StatRegistry
+
+        self.n_nodes = n_nodes
+        self.sim = Simulator()
+        self.stats = StatRegistry()
+        self.broadcasts = []
+        self._members = members  # bool[n] or None
+
+    def broadcast(self, origin, packet):
+        self.broadcasts.append((origin, packet.payload.ttl))
+
+    def polygon_members(self, polygon):
+        return self._members
+
+    def node_in_polygon(self, node_id, polygon):
+        return bool(self._members[node_id]) if self._members is not None \
+            else True
+
+
+def _flood_fixture(n=10, members=None, ttl=None, region=None):
+    from repro.net.packet import Packet
+    from repro.routing.envelopes import FloodEnvelope
+    from repro.routing.flooding import Flooder
+
+    net = _StubNetwork(n, members=members)
+    flooder = Flooder.__new__(Flooder)
+    flooder.network = net
+    flooder.stats = net.stats
+    flooder._seen = {}
+    flooder._n_nodes = n
+    flooder.profile = None
+    env = FloodEnvelope(inner=("payload",), origin=0, ttl=ttl, region=region)
+    packet = Packet(payload=env, size_bytes=100.0, src=0, created_at=0.0)
+    return net, flooder, packet
+
+
+class TestHandleBatchEquivalence:
+    def _run(self, batches, members=None, ttl=None, region=None):
+        """Feed successive receiver batches through handle_batch."""
+        net, flooder, packet = _flood_fixture(
+            members=members, ttl=ttl, region=region
+        )
+        flooder._seen[packet.packet_id] = np.zeros(10, dtype=bool)
+        delivered = []
+        for batch in batches:
+            flooder.handle_batch(
+                np.asarray(batch, dtype=np.intp), packet,
+                lambda nid, inner, pkt: delivered.append(nid),
+            )
+        return net, delivered
+
+    def _run_scalar(self, batches, members=None, ttl=None, region=None):
+        net, flooder, packet = _flood_fixture(
+            members=members, ttl=ttl, region=region
+        )
+        flooder._seen[packet.packet_id] = np.zeros(10, dtype=bool)
+        delivered = []
+        for batch in batches:
+            for nid in batch:
+                if flooder.handle(nid, packet):
+                    delivered.append(nid)
+        return net, delivered
+
+    @pytest.mark.parametrize("ttl", [None, 3, 0])
+    def test_matches_scalar_with_cross_batch_duplicates(self, ttl):
+        # A node hearing a second broadcast of the same flood is a
+        # duplicate: batch 2 re-delivers to 2 and 5, batch 3 is all dupes.
+        batches = [[2, 5, 7], [5, 1, 2], [7, 2]]
+        net_b, got = self._run(batches, ttl=ttl)
+        net_s, want = self._run_scalar(batches, ttl=ttl)
+        assert got == want == [2, 5, 7, 1]
+        assert net_b.broadcasts == net_s.broadcasts  # same rebroadcast order
+        for key in ("flood.duplicate", "flood.rebroadcast"):
+            assert net_b.stats.counter(key).value == net_s.stats.counter(key).value, key
+
+    def test_region_scoping_matches_scalar(self):
+        members = np.zeros(10, dtype=bool)
+        members[[1, 3, 5]] = True
+        batches = [[1, 2, 3], [4, 5]]
+        region = ((0.0, 0.0), (1.0, 0.0), (1.0, 1.0))
+        net_b, got = self._run(batches, members=members, region=region, ttl=2)
+        net_s, want = self._run_scalar(
+            batches, members=members, region=region, ttl=2
+        )
+        assert got == want == [1, 3, 5]
+        assert (net_b.stats.counter("flood.out_of_scope").value
+                == net_s.stats.counter("flood.out_of_scope").value == 2)
+
+    def test_unhashable_region_falls_back_to_scalar_membership(self):
+        members = np.zeros(10, dtype=bool)
+        members[[4, 6]] = True
+
+        net, flooder, packet = _flood_fixture(
+            members=members, ttl=None, region=((0.0, 0.0),)
+        )
+        net.polygon_members = lambda polygon: None  # e.g. unhashable region
+        flooder._seen[packet.packet_id] = np.zeros(10, dtype=bool)
+        delivered = []
+        flooder.handle_batch(
+            np.asarray([4, 5, 6], dtype=np.intp), packet,
+            lambda nid, inner, pkt: delivered.append(nid),
+        )
+        assert delivered == [4, 6]
+        assert net.stats.counter("flood.out_of_scope").value == 1
+
+    def test_forget_releases_seen_state(self):
+        net, flooder, packet = _flood_fixture()
+        flooder._seen[packet.packet_id] = np.zeros(10, dtype=bool)
+        flooder.forget(packet.packet_id)
+        assert packet.packet_id not in flooder._seen

@@ -48,6 +48,29 @@ def test_scenario_matches_golden_digest(scenario, golden):
     assert digest.report == entry["report"]
 
 
+@pytest.mark.parametrize("scenario", CANONICAL_SCENARIOS)
+def test_fast_kernel_is_digest_neutral(scenario, golden):
+    """The vectorized kernel is an *optimization*, never a behaviour.
+
+    Every golden scenario must fingerprint byte-identically with the
+    fast kernel forced OFF — the scalar reference paths (per-call
+    neighbor scans, per-node flood handling, scalar point-in-polygon,
+    unbatched delivery) and the vectorized ones must replay the exact
+    same logical event sequence.  Digest-affecting divergence between
+    the kernels lands here, not in a silently different result.
+    """
+    entry = golden[scenario]
+    _, _, digest = run_scenario(
+        scenario, seed=int(entry["seed"]), fast_kernel=False
+    )
+    assert digest.eventlog == entry["eventlog"], (
+        f"reference kernel (fast_kernel=False) diverged from the golden "
+        f"event-log digest of {scenario!r}: the vectorized fast paths "
+        f"are not digest-neutral"
+    )
+    assert digest.report == entry["report"]
+
+
 @pytest.mark.parametrize("rate", [0.0, 0.25, 1.0])
 def test_trace_sampling_is_digest_neutral(rate, golden):
     """Sampled tracing reproduces the golden digests byte-for-byte.

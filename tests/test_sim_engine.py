@@ -298,3 +298,65 @@ class TestProcesses:
             sim.spawn(worker(tag, delay))
         sim.run()
         assert trace == ["y", "x", "z"]
+
+
+class TestSameTimestampFIFO:
+    """Regression: FIFO ordering of same-timestamp events.
+
+    The slab-style fast queue entries (``schedule_fast`` pushes the heap
+    tuple itself, no ``EventHandle``) share ONE ``itertools.count``
+    sequence with cancellable entries, so events at the same (time,
+    priority) must always fire in insertion order — regardless of which
+    scheduling API created each one, and regardless of heap-internal
+    sift order.
+    """
+
+    def test_fast_entries_fifo_at_same_time(self):
+        sim = Simulator()
+        seen = []
+        for i in range(50):
+            sim.schedule_fast(1.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(50))
+
+    def test_mixed_fast_and_cancellable_interleave_by_insertion(self):
+        sim = Simulator()
+        seen = []
+        # Alternate APIs at one timestamp: insertion order must win.
+        for i in range(40):
+            if i % 2:
+                sim.schedule(2.0, seen.append, i)
+            else:
+                sim.schedule_fast(2.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(40))
+
+    def test_priority_beats_insertion_then_fifo_within_priority(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_fast(1.0, seen.append, "late-a", priority=1)
+        sim.schedule(1.0, seen.append, "early-a", priority=0)
+        sim.schedule_fast(1.0, seen.append, "early-b", priority=0)
+        sim.schedule(1.0, seen.append, "late-b", priority=1)
+        sim.run()
+        assert seen == ["early-a", "early-b", "late-a", "late-b"]
+
+    def test_cancelled_entry_does_not_disturb_fifo(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_fast(1.0, seen.append, 0)
+        handle = sim.schedule(1.0, seen.append, "cancelled")
+        sim.schedule_fast(1.0, seen.append, 1)
+        handle.cancel()
+        sim.run()
+        assert seen == [0, 1]
+
+    def test_schedule_at_variants_share_the_sequence(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.0, seen.append, "a")
+        sim.schedule_at_fast(3.0, seen.append, "b")
+        sim.schedule_at(3.0, seen.append, "c")
+        sim.schedule_at_fast(3.0, seen.append, "d")
+        sim.run()
+        assert seen == ["a", "b", "c", "d"]

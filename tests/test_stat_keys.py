@@ -18,10 +18,11 @@ PROTOCOL = REPO / "docs" / "PROTOCOL.md"
 #: Dotted component.metric form: at least two lowercase segments.
 KEY_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
-#: stats.count("literal.key" ...) and self.stats.count("literal.key")
-LITERAL_COUNT_RE = re.compile(r'stats\.count\(\s*"([^"]+)"')
+#: stats.count("literal.key"), stats.counter("literal.key") (cached
+#: hot-path Counter objects), and _count_sent("literal.key", ...).
+LITERAL_COUNT_RE = re.compile(r'(?:stats\.count(?:er)?|_count_sent)\(\s*"([^"]+)"')
 #: stats.count(f"prefix.{expr}") — the static prefix before the brace.
-FSTRING_COUNT_RE = re.compile(r'stats\.count\(\s*f"([^"{]+)\{')
+FSTRING_COUNT_RE = re.compile(r'stats\.count(?:er)?\(\s*f"([^"{]+)\{')
 
 
 def _source_keys():
