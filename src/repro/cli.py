@@ -15,6 +15,8 @@ any Python::
     python -m repro profile --duration 400 --json profile.json
     python -m repro energy --scenario baseline --tolerance 0.5
     python -m repro run --anomaly 'mac.backlog_max_s>5' --bundle-dir bundles/
+    python -m repro run --watch --live-export live.jsonl
+    python -m repro watch live.jsonl --follow
 
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it can
 do is equally available through the library API.
@@ -84,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(implies tracing)")
     run_p.add_argument(
         "--anomaly", action="append", default=[], metavar="RULE",
+        type=_anomaly_rule,
         help="anomaly trigger on a telemetry series, e.g. "
              "'mac.backlog_max_s>0.5' or 'cache.hit_ratio<0.1'; fires a "
              "flight-recorder bundle when breached (implies telemetry); "
@@ -93,6 +96,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--bundle-dir", default=None, metavar="DIR",
         help="arm the flight recorder: crashes and anomaly triggers "
              "leave forensic bundles in DIR",
+    )
+    run_p.add_argument(
+        "--watch", action="store_true",
+        help="live terminal dashboard on stderr while the run executes "
+             "(in-place ANSI repaint on a TTY, one-line summaries "
+             "otherwise; implies telemetry)",
+    )
+    run_p.add_argument(
+        "--watch-interval", type=float, default=None, metavar="S",
+        help="minimum wall seconds between dashboard repaints "
+             "(default 1.0)",
+    )
+    run_p.add_argument(
+        "--live-export", default=None, metavar="PATH",
+        help="stream each telemetry sample to PATH as JSONL, flushed "
+             "per record so 'tail -f' and 'repro watch --follow' can "
+             "track the run live (implies telemetry)",
+    )
+    run_p.add_argument(
+        "--metrics-snapshot", default=None, metavar="PATH",
+        help="keep PATH updated with a Prometheus-style text snapshot "
+             "of the latest telemetry row (implies telemetry)",
+    )
+    run_p.add_argument(
+        "--no-color", action="store_true",
+        help="force the dashboard's plain one-line-summary mode "
+             "(no ANSI; the CI-safe mode)",
     )
     _add_resilience_args(run_p)
     run_p.add_argument("--report", action="store_true",
@@ -268,7 +298,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the payload as JSON (the "
                               "benchmarks/perf/BENCH_*.json format)")
 
+    watch_p = sub.add_parser(
+        "watch",
+        help="render a run's --live-export JSONL as a dashboard: "
+             "follow a live run (--follow) or replay a finished one",
+    )
+    watch_p.add_argument("path", metavar="PATH",
+                         help="telemetry JSONL export to read "
+                              "(a --live-export file)")
+    watch_p.add_argument("--follow", "-f", action="store_true",
+                         help="keep polling for new records (tail -f) "
+                              "until the run's end marker or Ctrl-C")
+    watch_p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                         help="minimum wall seconds between repaints "
+                              "(default 1.0)")
+    watch_p.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="with --follow: give up after S wall "
+                              "seconds without a new record")
+    watch_p.add_argument("--no-color", action="store_true",
+                         help="plain one-line-summary mode (no ANSI)")
+
     return parser
+
+
+def _anomaly_rule(spec: str) -> str:
+    """``argparse`` type for ``--anomaly``: validate at parse time.
+
+    A malformed rule fails before any simulation state is built, with
+    the offending rule echoed and the grammar in the message.
+    """
+    from repro.obs.anomaly import AnomalyRule
+
+    try:
+        AnomalyRule.parse(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"{exc} — expected <series><op><threshold> with op '>' or "
+            f"'<', e.g. 'mac.backlog_max_s>5'"
+        ) from None
+    return spec
 
 
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
@@ -388,13 +456,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_overrides = dict(
             enable_tracing=tracing, trace_sample_rate=sample_rate
         ) if tracing else {}
-        cfg = _run_config(args, **trace_overrides, **_resilience_overrides(args))
+        # The --watch flag family routes through the config (not the
+        # Observers options) so its validation errors surface here as
+        # exit code 2 like every other bad flag value.
+        watch_overrides = {}
+        if args.watch:
+            watch_overrides["enable_dashboard"] = True
+        if args.watch or args.no_color:
+            watch_overrides["dashboard_mode"] = (
+                "plain" if args.no_color else "auto"
+            )
+        if args.watch_interval is not None:
+            watch_overrides["watch_interval"] = args.watch_interval
+        if args.live_export is not None:
+            watch_overrides["live_export_path"] = args.live_export
+        if args.metrics_snapshot is not None:
+            watch_overrides["metrics_snapshot_path"] = args.metrics_snapshot
+        cfg = _run_config(
+            args, **trace_overrides, **watch_overrides,
+            **_resilience_overrides(args),
+        )
         obs_opts = {}
         if args.anomaly:
-            from repro.obs.anomaly import AnomalyRule
-
-            for spec in args.anomaly:
-                AnomalyRule.parse(spec)
+            # Specs were validated at argparse time (_anomaly_rule).
             obs_opts.update(telemetry=True, anomaly_rules=tuple(args.anomaly))
         if args.bundle_dir is not None:
             obs_opts.update(recorder_dir=args.bundle_dir)
@@ -433,6 +517,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if net.recorder is not None and net.recorder.manifests:
         print(f"  flight recorder: {len(net.recorder.manifests)} "
               f"bundle(s) under {args.bundle_dir}")
+    live_sink = net.observers.live_sink
+    if live_sink is not None:
+        print(f"  live export: {live_sink.rows_written} row(s) to "
+              f"{args.live_export}")
+    metrics_sink = net.observers.metrics_sink
+    if metrics_sink is not None:
+        print(f"  metrics snapshot: {metrics_sink.snapshots_written} "
+              f"rewrite(s) of {args.metrics_snapshot}")
     if args.map:
         from repro.analysis.topology_map import render_topology
 
@@ -743,6 +835,31 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.watch import watch_file
+
+    try:
+        result = watch_file(
+            args.path,
+            follow=args.follow,
+            interval=args.interval,
+            mode="plain" if args.no_color else "auto",
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.ended:
+        status = "run finished"
+    elif result.timed_out:
+        status = f"no new records for {args.timeout:g}s"
+    else:
+        status = "end of file"
+    print(f"watched {result.rows} row(s), {result.events} event(s) "
+          f"({status})", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import format_bench, run_bench, write_bench
 
@@ -786,6 +903,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_energy(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -222,6 +222,27 @@ class SimulationConfig:
     #: strings) that fire flight-recorder bundles mid-run; requires
     #: ``enable_telemetry`` (the rules are checked per sampled row).
     anomaly_rules: tuple = ()
+    #: Publish each sampled telemetry row to a live
+    #: :class:`repro.obs.stream.TelemetryBus` (ring-buffer subscribers,
+    #: live sinks).  Implied by any of the three knobs below; implies
+    #: telemetry sampling.  Pure fan-out of already-collected rows, so
+    #: it never changes run digests.
+    enable_stream: bool = False
+    #: Append-per-sample JSONL live export (flushed per record, so
+    #: ``tail -f`` / ``repro watch --follow`` work mid-run); None
+    #: disables.  Implies the stream.
+    live_export_path: Optional[str] = None
+    #: Prometheus-style text-exposition snapshot file, atomically
+    #: rewritten per sample; None disables.  Implies the stream.
+    metrics_snapshot_path: Optional[str] = None
+    #: Render the live terminal dashboard during the run
+    #: (``repro run --watch``).  Implies the stream (and telemetry).
+    enable_dashboard: bool = False
+    #: Dashboard rendering mode: "auto" (ANSI on a TTY, plain
+    #: one-line summaries otherwise), "ansi", or "plain".
+    dashboard_mode: str = "auto"
+    #: Minimum wall-clock seconds between dashboard repaints.
+    watch_interval: float = 1.0
 
     # -- request resilience (repro.resilience) ---------------------------------------------------
     #: Enable the adaptive request-resilience layer: bounded in-phase
@@ -354,11 +375,27 @@ class SimulationConfig:
                 f"resilience_breaker_cooldown must be positive, got "
                 f"{self.resilience_breaker_cooldown}"
             )
+        if self.dashboard_mode not in ("auto", "ansi", "plain"):
+            raise ValueError(
+                f"dashboard_mode must be 'auto', 'ansi', or 'plain', "
+                f"got {self.dashboard_mode!r}"
+            )
+        if self.watch_interval <= 0:
+            raise ValueError(
+                f"watch_interval must be positive, got {self.watch_interval}"
+            )
         if self.anomaly_rules:
-            if not self.enable_telemetry:
+            if not (
+                self.enable_telemetry
+                or self.enable_stream
+                or self.enable_dashboard
+                or self.live_export_path is not None
+                or self.metrics_snapshot_path is not None
+            ):
                 raise ValueError(
-                    "anomaly_rules require enable_telemetry=True "
-                    "(rules are checked against sampled telemetry rows)"
+                    "anomaly_rules require enable_telemetry=True (or a "
+                    "stream/dashboard knob that implies it) — rules are "
+                    "checked against sampled telemetry rows"
                 )
             from repro.obs.anomaly import AnomalyRule
 

@@ -268,6 +268,14 @@ class PReCinCtNetwork:
         out["energy.uj_per_request"] = (
             out["energy.total_uj"] / max(1, self.metrics.requests_issued)
         )
+        # Progress/throughput gauges for the live dashboard.
+        out["engine.events"] = float(self.sim.events_executed)
+        out["request.issued"] = float(self.metrics.requests_issued)
+        out["request.failed"] = float(self.metrics.requests_failed)
+        out["request.served"] = float(
+            sum(self.metrics.served_by_class.values())
+        )
+        out["request.byte_hit_ratio"] = self.metrics.byte_hit_ratio
         return out
 
     # -- factories ------------------------------------------------------------
@@ -900,7 +908,13 @@ class PReCinCtNetwork:
             self.sim.schedule(cfg.warmup, self._end_warmup)
         if self.telemetry is not None:
             self.telemetry.start()
-        self.sim.run(until=cfg.duration)
+        try:
+            self.sim.run(until=cfg.duration)
+        finally:
+            # Final catch-up sample, live-sink end marker, last
+            # dashboard frame — also on crash, so a live export is
+            # never left without its terminator.
+            self.observers.finish()
         return self.report()
 
     def report(self, label: Optional[str] = None) -> RunReport:

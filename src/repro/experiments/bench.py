@@ -32,6 +32,8 @@ than retuning an existing one.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from dataclasses import replace
 from typing import Dict, List, Optional
@@ -156,6 +158,15 @@ def run_bench(
         "schema": 1,
         "bench_id": bench_id,
         "quick": quick,
+        # Wall-clock numbers are meaningless without knowing what ran
+        # them: trajectory comparisons must check the host matches.
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
         "scenarios": {n: bench_scenario(n, quick=quick, repeats=repeats,
                                         reference=reference) for n in names},
     }

@@ -19,6 +19,13 @@ golden event-log and report digests byte-identical):
   invariant violations, unserved requests, and audit divergence;
 * :mod:`repro.obs.anomaly` — declarative telemetry threshold rules
   that fire flight-recorder bundles mid-run;
+* :mod:`repro.obs.stream` — the live :class:`TelemetryBus`: fan-out of
+  each sampled row to ring-buffer subscribers, an append-per-sample
+  JSONL live export, and a Prometheus-style metrics snapshot;
+* :mod:`repro.obs.dashboard` — the ``--watch`` terminal dashboard
+  (in-place ANSI repaint, plain-line fallback) fed by the bus;
+* :mod:`repro.obs.watch` — ``repro watch``: follow or replay a live
+  export through the same dashboard;
 * :mod:`repro.obs.observers` — the :class:`Observers` composition
   object: one ``attach(engine)`` wiring for every pillar (including
   the span-level :class:`~repro.energy.attribution.EnergyAttributor`);
@@ -29,29 +36,43 @@ See ``docs/OBSERVABILITY.md`` for the user-facing tour.
 """
 
 from repro.obs.anomaly import AnomalyRule, AnomalyWatcher
+from repro.obs.dashboard import Dashboard
 from repro.obs.export import export_path, read_jsonl, write_jsonl
 from repro.obs.observers import Observers
 from repro.obs.profile import NULL_PROFILER, PerfProfiler
 from repro.obs.recorder import FlightRecorder
 from repro.obs.sampling import TraceSampler, make_sampler
+from repro.obs.stream import (
+    JsonlLiveSink,
+    MetricsSnapshotWriter,
+    RingSubscriber,
+    TelemetryBus,
+)
 from repro.obs.telemetry import TelemetrySampler, TelemetryTable
 from repro.obs.tracediff import TraceDiff, diff_files, diff_traces, load_traces
 from repro.obs.tracer import Span, Trace, Tracer
+from repro.obs.watch import WatchResult, watch_file
 
 __all__ = [
     "AnomalyRule",
     "AnomalyWatcher",
+    "Dashboard",
     "FlightRecorder",
+    "JsonlLiveSink",
+    "MetricsSnapshotWriter",
     "NULL_PROFILER",
     "Observers",
     "PerfProfiler",
+    "RingSubscriber",
     "Span",
+    "TelemetryBus",
     "Trace",
     "TraceDiff",
     "TraceSampler",
     "Tracer",
     "TelemetrySampler",
     "TelemetryTable",
+    "WatchResult",
     "diff_files",
     "diff_traces",
     "export_path",

@@ -90,14 +90,19 @@ class AnomalyWatcher:
     recorder:
         Optional :class:`~repro.obs.recorder.FlightRecorder`; ``None``
         records firings without dumping bundles (still countable).
+    bus:
+        Optional :class:`~repro.obs.stream.TelemetryBus`; each firing
+        is published as an ``anomaly`` event, so live exports carry it
+        and the dashboard shows it as a banner.
     """
 
-    def __init__(self, rules, recorder=None):
+    def __init__(self, rules, recorder=None, bus=None):
         self.rules: List[AnomalyRule] = [
             r if isinstance(r, AnomalyRule) else AnomalyRule.parse(r)
             for r in rules
         ]
         self.recorder = recorder
+        self.bus = bus
         self._armed: List[bool] = [True] * len(self.rules)
         #: ``(sim_time, rule spec, observed value)`` per firing.
         self.fired: List[tuple] = []
@@ -123,6 +128,16 @@ class AnomalyWatcher:
                     self._armed[i] = False
                     self.fired.append((t, rule.spec, value))
                     fired_now += 1
+                    if self.bus is not None:
+                        self.bus.publish_event(
+                            t, "anomaly",
+                            {
+                                "rule": rule.spec,
+                                "series": rule.series,
+                                "value": value,
+                                "threshold": rule.threshold,
+                            },
+                        )
                     if self.recorder is not None:
                         self.recorder.dump(
                             f"anomaly-{rule.series}",

@@ -1,0 +1,391 @@
+"""Live terminal dashboard on the telemetry stream (``repro run --watch``).
+
+Renders the rows a :class:`~repro.obs.stream.TelemetryBus` publishes —
+byte hit ratio, per-region cache fill, MAC backlog, ``resilience.*``
+breaker/suspicion gauges, anomaly-rule arm/fire state, and event-rate /
+ETA progress — as an in-place-refreshed ANSI layout.  No curses: the
+repaint is a plain cursor-home (``\\x1b[H``) redraw with every line
+``\\x1b[K``-cleared, which works in any VT100-ish terminal and degrades
+gracefully.
+
+Two modes, resolved from ``mode=``:
+
+* ``"ansi"`` — the full layout, repainted in place.  Chosen by
+  ``"auto"`` when the output stream is a TTY, ``$TERM`` is not
+  ``dumb``, and ``$NO_COLOR`` is unset.
+* ``"plain"`` — the dumb-terminal / CI-safe fallback: one summary line
+  per refresh (plus one line per anomaly firing), no control codes at
+  all.  ``repro run --watch --no-color`` forces it.
+
+Rendering is throttled by *wall-clock* time (``interval`` seconds
+between repaints), so a fast simulation does not melt the terminal and
+a slow one still shows every sample.  The dashboard is a pure consumer
+of published rows: it never touches the simulation, so ``--watch`` is
+digest-neutral like every other observer (asserted by the golden-digest
+suite).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Dashboard", "resolve_mode", "sparkline", "bar"]
+
+#: Eight-level block characters for sparklines (U+2581..U+2588).
+_SPARK = "▁▂▃▄▅▆▇█"
+
+# SGR fragments (ansi mode only; plain mode emits no control codes).
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_CYAN = "\x1b[36m"
+
+
+def resolve_mode(mode: str, out) -> str:
+    """Resolve ``"auto"`` to ``"ansi"`` or ``"plain"`` for stream ``out``."""
+    if mode not in ("auto", "ansi", "plain"):
+        raise ValueError(
+            f"dashboard mode must be 'auto', 'ansi', or 'plain', got {mode!r}"
+        )
+    if mode != "auto":
+        return mode
+    if os.environ.get("NO_COLOR"):
+        return "plain"
+    if os.environ.get("TERM", "") == "dumb":
+        return "plain"
+    isatty = getattr(out, "isatty", None)
+    return "ansi" if (isatty is not None and isatty()) else "plain"
+
+
+def sparkline(values: List[float], width: int = 24) -> str:
+    """Render the last ``width`` values as block-character bars.
+
+    NaN samples (a gauge that was undefined that row) render as a
+    space and are excluded from the scale.
+    """
+    tail = values[-width:]
+    if not tail:
+        return ""
+    finite = [v for v in tail if not math.isnan(v)]
+    if not finite:
+        return " " * len(tail)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    if span <= 0:
+        return "".join(" " if math.isnan(v) else _SPARK[3] for v in tail)
+    return "".join(
+        " " if math.isnan(v)
+        else _SPARK[min(int((v - lo) / span * 8), 7)]
+        for v in tail
+    )
+
+
+def bar(fraction: float, width: int = 20) -> str:
+    """A ``[####....]`` fill bar clamped to [0, 1]."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 3600:
+        return f"{s / 3600:.1f}h"
+    if s >= 60:
+        return f"{s / 60:.1f}m"
+    return f"{s:.0f}s"
+
+
+class Dashboard:
+    """In-terminal live view of one telemetry stream.
+
+    Parameters
+    ----------
+    bus:
+        The :class:`~repro.obs.stream.TelemetryBus` to subscribe to.
+    duration:
+        Total virtual duration of the run (drives the progress bar and
+        ETA); ``None`` (e.g. ``repro watch`` on an export of unknown
+        length) hides both.
+    interval:
+        Minimum wall-clock seconds between repaints.
+    mode:
+        ``"auto"`` / ``"ansi"`` / ``"plain"`` (see module docstring).
+    out:
+        Output stream; defaults to ``sys.stderr`` so ``repro run``'s
+        machine-readable stdout stays clean.
+    anomaly:
+        Optional :class:`~repro.obs.anomaly.AnomalyWatcher` whose rule
+        arm/fire state is shown; firings also arrive as bus events.
+    history:
+        Ring length of the sparkline window.
+    clock:
+        Wall-clock source (injected by tests).
+    """
+
+    def __init__(
+        self,
+        bus,
+        *,
+        duration: Optional[float] = None,
+        interval: float = 1.0,
+        mode: str = "auto",
+        out=None,
+        anomaly=None,
+        history: int = 120,
+        clock=time.monotonic,
+        title: str = "repro live",
+    ):
+        if interval <= 0:
+            raise ValueError(f"dashboard interval must be positive: {interval!r}")
+        if out is None:
+            import sys
+
+            out = sys.stderr
+        self.out = out
+        self.mode = resolve_mode(mode, out)
+        self.duration = duration
+        self.interval = float(interval)
+        self.anomaly = anomaly
+        self.title = title
+        self._clock = clock
+        self._sub = bus.subscribe(history)
+        bus.add_listener(self._on_row)
+        self._last_render: Optional[float] = None
+        self._pace: List[tuple] = []  # (wall, sim) pairs for ETA
+        self._banners_shown = 0
+        self.renders = 0
+        self._closed = False
+        self._painted = False
+
+    # -- bus hook ---------------------------------------------------------
+
+    def _on_row(self, t: float, values: Dict[str, float]) -> None:
+        now = self._clock()
+        self._pace.append((now, t))
+        if len(self._pace) > 32:
+            del self._pace[0]
+        if (
+            self._last_render is not None
+            and now - self._last_render < self.interval
+        ):
+            return
+        self._last_render = now
+        self.render()
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self) -> None:
+        """Repaint (ansi) or print one summary line (plain)."""
+        self.renders += 1
+        if self.mode == "ansi":
+            self._render_ansi()
+        else:
+            self._render_plain()
+
+    def close(self) -> None:
+        """Final repaint + terminal restore.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if len(self._sub):
+            self.render()
+        if self.mode == "ansi" and self._painted:
+            self.out.write("\x1b[?25h\n")  # show cursor, leave the frame
+            self.out.flush()
+
+    def _eta(self, t: float) -> Optional[float]:
+        """Wall-seconds until ``duration`` at the observed sim pace."""
+        if self.duration is None or len(self._pace) < 2:
+            return None
+        (w0, s0), (w1, s1) = self._pace[0], self._pace[-1]
+        if w1 <= w0 or s1 <= s0:
+            return None
+        pace = (s1 - s0) / (w1 - w0)  # sim seconds per wall second
+        return max(self.duration - t, 0.0) / pace if pace > 0 else None
+
+    def _event_rate(self) -> Optional[float]:
+        """Engine events per wall second over the sparkline window."""
+        rows = list(self._sub.rows)
+        if len(self._pace) < 2 or len(rows) < 2:
+            return None
+        (w0, _), (w1, _) = self._pace[0], self._pace[-1]
+        window = [v.get("engine.events") for _, v in rows]
+        window = [v for v in window if v is not None]
+        if len(window) < 2 or w1 <= w0:
+            return None
+        return max(window[-1] - window[0], 0.0) / (w1 - w0)
+
+    # -- plain (dumb-terminal / CI) mode ----------------------------------
+
+    def _render_plain(self) -> None:
+        t, values = self._sub.rows[-1]
+        parts = [f"[t={t:8.1f}s"]
+        if self.duration:
+            parts.append(f" {100.0 * t / self.duration:3.0f}%]")
+        else:
+            parts.append("]")
+        issued = values.get("request.issued")
+        if issued is not None:
+            parts.append(f" req={issued:.0f}")
+        bhr = values.get("request.byte_hit_ratio")
+        if bhr is not None:
+            parts.append(f" bhr={bhr:.3f}")
+        parts.append(f" mac={values.get('mac.backlog_total_s', 0.0):.3f}s")
+        breakers = values.get("resilience.breakers_open")
+        if breakers is not None:
+            parts.append(f" breakers={breakers:.0f}")
+        if self.anomaly is not None:
+            parts.append(f" anomalies={self.anomaly.triggers}")
+        rate = self._event_rate()
+        if rate is not None:
+            parts.append(f" ev/s={rate:,.0f}")
+        eta = self._eta(t)
+        if eta is not None:
+            parts.append(f" eta={_fmt_seconds(eta)}")
+        self.out.write("".join(parts) + "\n")
+        # One line per not-yet-shown anomaly banner.
+        events = list(self._sub.events)
+        for et, kind, payload in events[self._banners_shown:]:
+            rule = payload.get("rule", kind)
+            value = payload.get("value")
+            suffix = f" (observed {value:g})" if value is not None else ""
+            self.out.write(f"ANOMALY t={et:.1f}s {rule}{suffix}\n")
+        self._banners_shown = len(events)
+        self.out.flush()
+
+    # -- ansi mode --------------------------------------------------------
+
+    def _render_ansi(self) -> None:
+        t, values = self._sub.rows[-1]
+        lines = self._frame_lines(t, values)
+        if not self._painted:
+            # First paint: clear once, hide the cursor.
+            self.out.write("\x1b[2J\x1b[?25l")
+            self._painted = True
+        buf = ["\x1b[H"]
+        for line in lines:
+            buf.append(line)
+            buf.append("\x1b[K\n")  # clear to end of line: no stale tails
+        buf.append("\x1b[J")  # clear anything below the frame
+        self.out.write("".join(buf))
+        self.out.flush()
+
+    def _frame_lines(self, t: float, values: Dict[str, float]) -> List[str]:
+        lines: List[str] = []
+        # -- header: progress, event rate, ETA ----------------------------
+        head = f"{_BOLD}{_CYAN}{self.title}{_RESET}  t={t:.1f}s"
+        if self.duration:
+            frac = t / self.duration
+            head += (
+                f" / {self.duration:.0f}s  [{bar(frac)}] {100 * frac:3.0f}%"
+            )
+        rate = self._event_rate()
+        if rate is not None:
+            head += f"  {rate:,.0f} ev/s"
+        eta = self._eta(t)
+        if eta is not None:
+            head += f"  ETA {_fmt_seconds(eta)}"
+        lines.append(head)
+        lines.append("")
+
+        # -- requests / hit ratios ----------------------------------------
+        issued = values.get("request.issued", 0.0)
+        failed = values.get("request.failed", 0.0)
+        served = values.get("request.served", 0.0)
+        bhr = values.get("request.byte_hit_ratio", 0.0)
+        lines.append(
+            f"{_BOLD}requests{_RESET}   issued {issued:8.0f}   "
+            f"served {served:8.0f}   failed {failed:6.0f}"
+        )
+        lines.append(
+            f"  byte hit ratio {bhr:6.3f}  "
+            f"{_GREEN}{sparkline(self._sub.series('request.byte_hit_ratio'))}"
+            f"{_RESET}"
+        )
+        lines.append("")
+
+        # -- per-region cache fill ----------------------------------------
+        regions = sorted(
+            (k for k in values if k.startswith("cache.region")
+             and k.endswith(".bytes")),
+            key=lambda k: int(k[len("cache.region"):-len(".bytes")]),
+        )
+        if regions:
+            lines.append(f"{_BOLD}cache fill (bytes per region){_RESET}")
+            peak = max(values[k] for k in regions) or 1.0
+            for key in regions[:12]:
+                rid = key[len("cache.region"):-len(".bytes")]
+                entries = values.get(f"cache.region{rid}.entries", 0.0)
+                lines.append(
+                    f"  region {rid:>3}  [{bar(values[key] / peak, 16)}] "
+                    f"{values[key]:>12,.0f} B  {entries:5.0f} items"
+                )
+            if len(regions) > 12:
+                lines.append(f"  {_DIM}... {len(regions) - 12} more{_RESET}")
+            imbalance = values.get("region.occupancy_imbalance")
+            if imbalance is not None:
+                lines.append(f"  occupancy imbalance {imbalance:5.2f}")
+            lines.append("")
+
+        # -- MAC backlog ---------------------------------------------------
+        backlog = values.get("mac.backlog_total_s", 0.0)
+        backlog_max = values.get("mac.backlog_max_s", 0.0)
+        lines.append(
+            f"{_BOLD}mac{_RESET}        backlog {backlog:8.3f}s   "
+            f"max {backlog_max:8.3f}s  "
+            f"{_YELLOW}{sparkline(self._sub.series('mac.backlog_total_s'))}"
+            f"{_RESET}"
+        )
+
+        # -- resilience gauges --------------------------------------------
+        if "resilience.breakers_open" in values:
+            lines.append(
+                f"{_BOLD}resilience{_RESET} breakers open "
+                f"{values['resilience.breakers_open']:3.0f}   retries "
+                f"inflight {values.get('resilience.retries_inflight', 0.0):3.0f}"
+                f"   depth {values.get('resilience.retry_depth', 0.0):2.0f}"
+            )
+            suspicions = sorted(
+                k for k in values if k.startswith("resilience.suspicion.")
+            )
+            hot = [
+                (k.rsplit("region", 1)[-1], values[k])
+                for k in suspicions if values[k] > 0
+            ]
+            if hot:
+                worst = sorted(hot, key=lambda kv: -kv[1])[:6]
+                lines.append(
+                    "  suspicion  " + "  ".join(
+                        f"r{rid}={score:.2f}" for rid, score in worst
+                    )
+                )
+        lines.append("")
+
+        # -- anomaly rules: arm/fire state + banners ----------------------
+        if self.anomaly is not None and self.anomaly.rules:
+            lines.append(f"{_BOLD}anomaly rules{_RESET}")
+            for i, rule in enumerate(self.anomaly.rules):
+                armed = self.anomaly._armed[i]
+                state = (
+                    f"{_GREEN}armed{_RESET}" if armed
+                    else f"{_RED}FIRED{_RESET}"
+                )
+                lines.append(f"  {rule.spec:<32} {state}")
+        banners = list(self._sub.events)[-4:]
+        for et, kind, payload in banners:
+            rule = payload.get("rule", kind)
+            value = payload.get("value")
+            suffix = f" (observed {value:g})" if value is not None else ""
+            lines.append(
+                f"{_RED}{_BOLD}!! t={et:.1f}s {rule}{suffix}{_RESET}"
+            )
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dashboard(mode={self.mode!r}, renders={self.renders})"

@@ -60,6 +60,20 @@ class Observers:
         Telemetry threshold rules
         (:class:`~repro.obs.anomaly.AnomalyWatcher`); implies nothing
         by itself — telemetry must be on for rules to be checked.
+    stream / live_export / metrics_snapshot:
+        Live streaming (:class:`~repro.obs.stream.TelemetryBus`):
+        ``stream=True`` arms the bus; ``live_export=PATH`` attaches an
+        append-per-sample JSONL sink
+        (:class:`~repro.obs.stream.JsonlLiveSink`);
+        ``metrics_snapshot=PATH`` attaches the Prometheus-style
+        snapshot writer.  Either sink (or the dashboard) implies the
+        bus, and any of them implies the telemetry sampler.
+    dashboard / dashboard_mode / watch_interval / dashboard_out:
+        Live terminal dashboard
+        (:class:`~repro.obs.dashboard.Dashboard`): render mode
+        (``auto``/``ansi``/``plain``), minimum wall seconds between
+        repaints, and the output stream (defaults to stderr; tests
+        inject a ``StringIO``).
     """
 
     def __init__(
@@ -75,6 +89,13 @@ class Observers:
         recorder_max_dumps: Optional[int] = _INHERIT,
         energy_attribution: Optional[bool] = _INHERIT,
         anomaly_rules: Optional[Sequence[Union[str, object]]] = _INHERIT,
+        stream: Optional[bool] = _INHERIT,
+        live_export=_INHERIT,
+        metrics_snapshot=_INHERIT,
+        dashboard: Optional[bool] = _INHERIT,
+        dashboard_mode: Optional[str] = _INHERIT,
+        watch_interval: Optional[float] = _INHERIT,
+        dashboard_out=_INHERIT,
     ):
         self._opts = {
             "tracing": tracing,
@@ -87,6 +108,13 @@ class Observers:
             "recorder_max_dumps": recorder_max_dumps,
             "energy_attribution": energy_attribution,
             "anomaly_rules": anomaly_rules,
+            "stream": stream,
+            "live_export": live_export,
+            "metrics_snapshot": metrics_snapshot,
+            "dashboard": dashboard,
+            "dashboard_mode": dashboard_mode,
+            "watch_interval": watch_interval,
+            "dashboard_out": dashboard_out,
         }
         self.tracer = None
         self.telemetry = None
@@ -94,7 +122,12 @@ class Observers:
         self.recorder = None
         self.energy = None
         self.anomaly = None
+        self.bus = None
+        self.dashboard = None
+        self.live_sink = None
+        self.metrics_sink = None
         self._net = None
+        self._finished = False
 
     def _opt(self, name: str, cfg_value):
         value = self._opts[name]
@@ -156,7 +189,22 @@ class Observers:
             for peer in net.peers:
                 peer.cache.profile = self.profiler
 
-        if self._opt("telemetry", cfg.enable_telemetry):
+        # Any live consumer (a sink, the dashboard, or an explicit
+        # stream=True) arms the bus, and the bus implies the sampler:
+        # live views are fed by the same periodic rows as the table.
+        live_export = self._opt("live_export", cfg.live_export_path)
+        metrics_snapshot = self._opt(
+            "metrics_snapshot", cfg.metrics_snapshot_path
+        )
+        dashboard_on = self._opt("dashboard", cfg.enable_dashboard)
+        stream_on = (
+            self._opt("stream", cfg.enable_stream)
+            or live_export is not None
+            or metrics_snapshot is not None
+            or dashboard_on
+        )
+
+        if self._opt("telemetry", cfg.enable_telemetry) or stream_on:
             from repro.obs.telemetry import TelemetrySampler
 
             self.telemetry = TelemetrySampler(
@@ -165,6 +213,22 @@ class Observers:
                 self._opt("telemetry_interval", cfg.telemetry_interval),
                 until=cfg.duration,
             )
+
+        if stream_on:
+            from repro.obs.stream import (
+                JsonlLiveSink,
+                MetricsSnapshotWriter,
+                TelemetryBus,
+            )
+
+            self.bus = TelemetryBus()
+            self.telemetry.bus = self.bus
+            if live_export is not None:
+                self.live_sink = JsonlLiveSink(live_export)
+                self.bus.attach_sink(self.live_sink)
+            if metrics_snapshot is not None:
+                self.metrics_sink = MetricsSnapshotWriter(metrics_snapshot)
+                self.bus.attach_sink(self.metrics_sink)
 
         recorder_dir = self._opt("recorder_dir", cfg.flight_recorder_dir)
         if recorder_dir is not None:
@@ -188,10 +252,41 @@ class Observers:
         if rules:
             from repro.obs.anomaly import AnomalyWatcher
 
-            self.anomaly = AnomalyWatcher(rules, recorder=self.recorder)
+            self.anomaly = AnomalyWatcher(
+                rules, recorder=self.recorder, bus=self.bus
+            )
             if self.telemetry is not None:
                 self.telemetry.on_sample = self.anomaly.check
+
+        if dashboard_on:
+            from repro.obs.dashboard import Dashboard
+
+            self.dashboard = Dashboard(
+                self.bus,
+                duration=cfg.duration,
+                interval=self._opt("watch_interval", cfg.watch_interval),
+                mode=self._opt("dashboard_mode", cfg.dashboard_mode),
+                out=self._opt("dashboard_out", None),
+                anomaly=self.anomaly,
+            )
         return self
+
+    def finish(self) -> None:
+        """End-of-run finalization; called by the engine after the loop.
+
+        Order matters: the sampler's final catch-up row must reach the
+        bus *before* the live sink writes its ``end`` marker and the
+        dashboard paints its last frame.  Idempotent — every step is.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self.telemetry is not None:
+            self.telemetry.finalize()
+        if self.dashboard is not None:
+            self.dashboard.close()
+        if self.bus is not None:
+            self.bus.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         active = [
@@ -202,6 +297,8 @@ class Observers:
                 ("recorder", self.recorder),
                 ("energy", self.energy),
                 ("anomaly", self.anomaly),
+                ("bus", self.bus),
+                ("dashboard", self.dashboard),
             ) if obj is not None
         ]
         return f"Observers({', '.join(active) or 'none active'})"

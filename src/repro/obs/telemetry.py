@@ -23,6 +23,7 @@ stats writes, and none of the lazily-refreshing position queries.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["TelemetryTable", "TelemetrySampler"]
@@ -46,7 +47,13 @@ class TelemetryTable:
         return sorted(self._deltas)
 
     def append(self, t: float, values: Dict[str, float]) -> None:
-        """Add one sample row at time ``t``."""
+        """Add one sample row at time ``t``.
+
+        A NaN value is stored as a NaN *marker* delta: the row decodes
+        to NaN, but the running value is left at the last finite
+        observation, so one bad gauge sample never poisons the rest of
+        its column (the delta chain resumes from the pre-NaN value).
+        """
         self._time_deltas.append(t - self._last_time)
         self._last_time = t
         for name, value in values.items():
@@ -55,8 +62,12 @@ class TelemetryTable:
                 # Late-appearing column: zero-backfill the rows before it.
                 column = self._deltas[name] = [0.0] * self._rows
                 self._last[name] = 0.0
-            column.append(float(value) - self._last[name])
-            self._last[name] = float(value)
+            value = float(value)
+            if math.isnan(value):
+                column.append(value)  # marker; _last keeps the finite value
+            else:
+                column.append(value - self._last[name])
+                self._last[name] = value
         for name, column in self._deltas.items():
             if len(column) <= self._rows:  # absent this row: carry forward
                 column.append(0.0)
@@ -72,9 +83,16 @@ class TelemetryTable:
         return out
 
     def column(self, name: str) -> List[float]:
-        """Decoded raw values of one column (zeros before it appeared)."""
+        """Decoded raw values of one column (zeros before it appeared).
+
+        NaN marker deltas decode to NaN for their row only; the running
+        value continues from the last finite observation.
+        """
         out, acc = [], 0.0
         for delta in self._deltas[name]:
+            if math.isnan(delta):
+                out.append(delta)
+                continue
             acc += delta
             out.append(acc)
         return out
@@ -116,7 +134,11 @@ class TelemetryTable:
         for name, deltas in data["columns"].items():
             column = [float(v) for v in deltas]
             table._deltas[name] = column
-            table._last[name] = sum(column)
+            # NaN markers carry no delta: the running value is the sum
+            # of the finite deltas only.
+            table._last[name] = math.fsum(
+                v for v in column if not math.isnan(v)
+            )
         return table
 
     @classmethod
@@ -147,7 +169,11 @@ class TelemetryTable:
         """Rebuild a table from a :meth:`to_jsonl` export.
 
         Round-trips the decoded values (re-encoding the deltas on
-        append), so ``rows()`` matches the source table.
+        append), so ``rows()`` matches the source table.  Non-row
+        records after the header — the live stream's ``anomaly`` event
+        and ``end`` markers (:class:`repro.obs.stream.JsonlLiveSink`)
+        — are skipped, so a finished ``--live-export`` file loads with
+        the same call.
         """
         from repro.obs.export import read_jsonl
 
@@ -157,11 +183,10 @@ class TelemetryTable:
         table = cls()
         for record in records[1:]:
             if record.get("record") != "row":
-                raise ValueError(
-                    f"{path}: unexpected record kind {record.get('record')!r}"
-                )
+                continue  # event/end marker from a live export
             values = {k: float(v) for k, v in record.items()
-                      if k not in ("record", "t")}
+                      if k not in ("record", "t")
+                      and isinstance(v, (int, float))}
             table.append(float(record["t"]), values)
         return table
 
@@ -193,6 +218,11 @@ class TelemetrySampler:
         ``collect`` it must be a pure observer of simulation state
         (dumping a flight-recorder bundle is fine: that writes to the
         filesystem, not the simulation).
+    bus:
+        Optional :class:`~repro.obs.stream.TelemetryBus` each sampled
+        row is published to, *before* ``on_sample`` runs — so in a live
+        export an anomaly event record always follows the row that
+        triggered it.
     """
 
     def __init__(
@@ -202,6 +232,7 @@ class TelemetrySampler:
         interval: float,
         until: Optional[float] = None,
         on_sample: Optional[Callable[[float, Dict[str, float]], None]] = None,
+        bus=None,
     ):
         if interval <= 0:
             raise ValueError(f"telemetry interval must be positive: {interval!r}")
@@ -210,22 +241,47 @@ class TelemetrySampler:
         self.interval = float(interval)
         self.until = until
         self.on_sample = on_sample
+        self.bus = bus
         self.table = TelemetryTable()
         self.samples_taken = 0
+        self._last_sample_time: Optional[float] = None
 
     def start(self) -> None:
         """Schedule the first sample one interval from now."""
         self._sim.schedule(self.interval, self._tick)
 
-    def _tick(self) -> None:
+    def _sample(self) -> None:
         values = self._collect()
-        self.table.append(self._sim.now, values)
+        now = self._sim.now
+        self.table.append(now, values)
         self.samples_taken += 1
+        self._last_sample_time = now
+        if self.bus is not None:
+            self.bus.publish(now, values)
         if self.on_sample is not None:
-            self.on_sample(self._sim.now, values)
+            self.on_sample(now, values)
+
+    def _tick(self) -> None:
+        self._sample()
         next_time = self._sim.now + self.interval
         if self.until is None or next_time <= self.until:
             self._sim.schedule(self.interval, self._tick)
+
+    def finalize(self) -> bool:
+        """Take one last sample at engine-stop time, if the clock moved.
+
+        A run shorter than the sample interval would otherwise finish
+        with an *empty* table (the first tick never fires); a run whose
+        duration is not an interval multiple would silently drop its
+        tail.  Called by the engine after the event loop drains; never
+        reschedules.  Returns True when a row was added — a no-op when
+        the last periodic tick already landed exactly at stop time.
+        """
+        now = self._sim.now
+        if self._last_sample_time is not None and now <= self._last_sample_time:
+            return False
+        self._sample()
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -74,6 +74,21 @@ class TestBenchHarness:
         rec = bench_scenario("audit", quick=True, repeats=1, reference=False)
         assert "reference" not in rec and "speedup" not in rec
 
+    def test_payload_records_host_metadata(self):
+        import platform
+
+        payload = run_bench(
+            scenarios=["audit"], quick=True, repeats=1, reference=False
+        )
+        host = payload["host"]
+        assert host["python"] == platform.python_version()
+        assert host["implementation"] == platform.python_implementation()
+        assert host["platform"] == platform.platform()
+        assert host["machine"] == platform.machine()
+        assert isinstance(host["cpu_count"], int) and host["cpu_count"] >= 1
+        # ... and it survives the JSON round trip write_bench does.
+        json.loads(json.dumps(payload["host"]))
+
 
 class TestCommittedTrajectory:
     def test_bench_0006_meets_acceptance(self):

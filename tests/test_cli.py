@@ -287,9 +287,85 @@ class TestEnergyAndAnomalyParser:
         assert args.json == "prof.json"
 
     def test_run_rejects_bad_anomaly_rule(self, capsys):
-        rc = main(["run", "--anomaly", "not a rule"])
+        # Validated by argparse type= — fails at parse time, before any
+        # simulation state exists, with the grammar in the message.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--anomaly", "not a rule"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "not a rule" in err
+        assert "<series><op><threshold>" in err
+
+
+class TestWatchParser:
+    def test_watch_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.watch is False
+        assert args.watch_interval is None
+        assert args.live_export is None
+        assert args.metrics_snapshot is None
+        assert args.no_color is False
+
+    def test_run_watch_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--watch", "--no-color", "--watch-interval", "0.5",
+             "--live-export", "live.jsonl",
+             "--metrics-snapshot", "metrics.prom"]
+        )
+        assert args.watch and args.no_color
+        assert args.watch_interval == 0.5
+        assert args.live_export == "live.jsonl"
+        assert args.metrics_snapshot == "metrics.prom"
+
+    def test_watch_subcommand(self):
+        args = build_parser().parse_args(
+            ["watch", "live.jsonl", "--follow", "--interval", "2",
+             "--timeout", "30", "--no-color"]
+        )
+        assert args.command == "watch"
+        assert args.path == "live.jsonl"
+        assert args.follow and args.no_color
+        assert args.interval == 2.0 and args.timeout == 30.0
+
+    def test_watch_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["watch"])
+
+    def test_run_rejects_bad_watch_interval(self, capsys):
+        rc = main(["run", "--watch", "--watch-interval", "0"])
         assert rc == 2
-        assert "anomaly" in capsys.readouterr().err
+        assert "watch_interval" in capsys.readouterr().err
+
+
+class TestWatchExecution:
+    def test_run_watch_then_replay(self, capsys, tmp_path):
+        live = tmp_path / "live.jsonl"
+        prom = tmp_path / "metrics.prom"
+        rc = main(
+            ["run", "--nodes", "16", "--duration", "40", "--warmup", "5",
+             "--items", "50", "--seed", "3", "--watch", "--no-color",
+             "--watch-interval", "0.001",
+             "--live-export", str(live), "--metrics-snapshot", str(prom),
+             "--anomaly", "energy.total_uj>1"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "live export:" in captured.out
+        assert "metrics snapshot:" in captured.out
+        assert "[t=" in captured.err  # plain dashboard lines on stderr
+        assert "ANOMALY" in captured.err
+        assert "repro_sim_time_seconds" in prom.read_text()
+
+        rc = main(["watch", str(live), "--no-color", "--interval", "0.001"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "run finished" in captured.err
+        assert "ANOMALY" in captured.err
+
+    def test_watch_missing_file_errors(self, capsys, tmp_path):
+        rc = main(["watch", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestEnergyAndAnomalyExecution:

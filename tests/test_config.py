@@ -61,3 +61,36 @@ class TestValidation:
             SimulationConfig(replacement_policy=policy)
         for scheme in ("none", "plain-push", "pull-every-time", "push-adaptive-pull"):
             SimulationConfig(consistency=scheme)
+
+
+class TestStreamingKnobs:
+    def test_defaults_off(self):
+        cfg = SimulationConfig()
+        assert cfg.enable_stream is False
+        assert cfg.live_export_path is None
+        assert cfg.metrics_snapshot_path is None
+        assert cfg.enable_dashboard is False
+        assert cfg.dashboard_mode == "auto"
+        assert cfg.watch_interval == 1.0
+
+    def test_rejects_bad_dashboard_mode(self):
+        with pytest.raises(ValueError, match="dashboard_mode"):
+            SimulationConfig(dashboard_mode="fancy")
+
+    def test_rejects_nonpositive_watch_interval(self):
+        with pytest.raises(ValueError, match="watch_interval"):
+            SimulationConfig(watch_interval=0.0)
+        with pytest.raises(ValueError, match="watch_interval"):
+            SimulationConfig(watch_interval=-1.0)
+
+    def test_anomaly_rules_satisfied_by_any_live_consumer(self):
+        # Telemetry is implied by every streaming consumer, so anomaly
+        # rules are valid with any of them (not only enable_telemetry).
+        rules = ("mac.backlog_max_s>5",)
+        SimulationConfig(anomaly_rules=rules, enable_telemetry=True)
+        SimulationConfig(anomaly_rules=rules, enable_stream=True)
+        SimulationConfig(anomaly_rules=rules, enable_dashboard=True)
+        SimulationConfig(anomaly_rules=rules, live_export_path="x.jsonl")
+        SimulationConfig(anomaly_rules=rules, metrics_snapshot_path="m.prom")
+        with pytest.raises(ValueError, match="anomaly_rules"):
+            SimulationConfig(anomaly_rules=rules)

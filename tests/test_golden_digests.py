@@ -127,3 +127,48 @@ def test_energy_attribution_and_anomalies_are_digest_neutral(
     assert observers.energy.total() > 0
     assert observers.anomaly.triggers > 0  # total energy exceeds 1 uJ
 
+
+@pytest.mark.parametrize("scenario", CANONICAL_SCENARIOS)
+def test_live_streaming_and_dashboard_are_digest_neutral(
+    scenario, golden, tmp_path
+):
+    """Acceptance: the full --watch stack — telemetry bus, JSONL live
+    export, Prometheus snapshot, terminal dashboard (plain mode), and
+    an armed anomaly rule — fingerprints byte-identically to the bare
+    golden run.  Everything downstream of the sampler is a pure
+    consumer of already-collected rows."""
+    import io
+
+    entry = golden[scenario]
+    out = io.StringIO()
+    observers = Observers(
+        live_export=tmp_path / "live.jsonl",
+        metrics_snapshot=tmp_path / "metrics.prom",
+        dashboard=True,
+        dashboard_mode="plain",
+        dashboard_out=out,
+        watch_interval=0.001,
+        anomaly_rules=("energy.total_uj>1.0",),
+    )
+    net, _, digest = run_scenario(
+        scenario, seed=int(entry["seed"]), observers=observers
+    )
+    assert digest.eventlog == entry["eventlog"], (
+        f"live streaming/dashboard perturbed the event-log digest of "
+        f"{scenario!r}"
+    )
+    assert digest.report == entry["report"]
+    # ... and the live path actually carried the run.
+    assert observers.bus.rows_published > 0
+    assert observers.live_sink.rows_written == observers.bus.rows_published
+    assert observers.metrics_sink.snapshots_written > 0
+    assert observers.dashboard.renders > 0
+    assert observers.bus.events_published > 0  # the anomaly fired
+    text = out.getvalue()
+    assert "ANOMALY" in text and "\x1b[" not in text
+    # The finished export replays into an equal-length table.
+    from repro.obs import TelemetryTable
+
+    table = TelemetryTable.from_jsonl(tmp_path / "live.jsonl")
+    assert len(table) == observers.bus.rows_published
+

@@ -1,0 +1,237 @@
+"""Tests for the live dashboard and ``repro watch`` (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.dashboard import Dashboard, bar, resolve_mode, sparkline
+from repro.obs.stream import JsonlLiveSink, TelemetryBus
+from repro.obs.watch import watch_file
+
+
+class FakeClock:
+    """Deterministic wall clock; ``sleep`` advances it."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def sleep(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class TestModeResolution:
+    def test_explicit_modes_pass_through(self):
+        out = io.StringIO()
+        assert resolve_mode("ansi", out) == "ansi"
+        assert resolve_mode("plain", out) == "plain"
+
+    def test_auto_is_plain_for_non_tty(self, monkeypatch):
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        assert resolve_mode("auto", io.StringIO()) == "plain"
+
+    def test_auto_is_ansi_for_tty(self, monkeypatch):
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "xterm-256color")
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        assert resolve_mode("auto", Tty()) == "ansi"
+
+    def test_auto_respects_dumb_terminal_and_no_color(self, monkeypatch):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "dumb")
+        assert resolve_mode("auto", Tty()) == "plain"
+        monkeypatch.setenv("TERM", "xterm")
+        monkeypatch.setenv("NO_COLOR", "1")
+        assert resolve_mode("auto", Tty()) == "plain"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_mode("fancy", io.StringIO())
+
+
+class TestPrimitives:
+    def test_sparkline_scales_to_extremes(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_sparkline_constant_and_empty(self):
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0]) == "▄▄"
+
+    def test_sparkline_nan_renders_as_gap(self):
+        line = sparkline([0.0, float("nan"), 2.0])
+        assert line[1] == " "
+        assert line[0] == "▁" and line[2] == "█"
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_sparkline_window(self):
+        assert len(sparkline([float(i) for i in range(100)], width=24)) == 24
+
+    def test_bar_clamps(self):
+        assert bar(0.0, 4) == "...."
+        assert bar(1.0, 4) == "####"
+        assert bar(2.0, 4) == "####"
+        assert bar(-1.0, 4) == "...."
+
+
+class TestDashboardPlain:
+    def _dash(self, clock, **kw):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        dash = Dashboard(
+            bus, mode="plain", out=out, clock=clock, duration=100.0,
+            interval=kw.pop("interval", 1.0), **kw,
+        )
+        return bus, out, dash
+
+    def test_summary_lines_and_throttling(self):
+        clock = FakeClock()
+        bus, out, dash = self._dash(clock, interval=10.0)
+        bus.publish(5.0, {"request.issued": 3.0,
+                          "request.byte_hit_ratio": 0.5,
+                          "mac.backlog_total_s": 0.25})
+        clock.t = 1.0  # within the repaint interval: suppressed
+        bus.publish(10.0, {"request.issued": 6.0})
+        clock.t = 20.0
+        bus.publish(15.0, {"request.issued": 9.0})
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2  # first + post-interval; middle throttled
+        assert "req=3" in lines[0] and "bhr=0.500" in lines[0]
+        assert "mac=0.250s" in lines[0]
+        assert "req=9" in lines[1]
+
+    def test_anomaly_banner_printed_once(self):
+        clock = FakeClock()
+        bus, out, dash = self._dash(clock, interval=0.5)
+        bus.publish(5.0, {"request.issued": 1.0})
+        bus.publish_event(5.0, "anomaly",
+                          {"rule": "x>1", "value": 2.0})
+        clock.t = 1.0
+        bus.publish(10.0, {"request.issued": 2.0})
+        clock.t = 2.0
+        bus.publish(15.0, {"request.issued": 3.0})
+        text = out.getvalue()
+        assert text.count("ANOMALY t=5.0s x>1 (observed 2)") == 1
+
+    def test_resilience_gauge_shown(self):
+        clock = FakeClock()
+        bus, out, dash = self._dash(clock)
+        bus.publish(5.0, {"resilience.breakers_open": 2.0})
+        assert "breakers=2" in out.getvalue()
+
+    def test_no_ansi_codes_in_plain_mode(self):
+        clock = FakeClock()
+        bus, out, dash = self._dash(clock)
+        bus.publish(5.0, {"request.issued": 1.0})
+        dash.close()
+        assert "\x1b[" not in out.getvalue()
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Dashboard(TelemetryBus(), interval=0.0, out=io.StringIO())
+
+
+class TestDashboardAnsi:
+    def test_frame_repaints_in_place(self):
+        clock = FakeClock()
+        bus = TelemetryBus()
+        out = io.StringIO()
+        dash = Dashboard(
+            bus, mode="ansi", out=out, clock=clock, duration=100.0,
+            interval=0.5, title="unit test",
+        )
+        bus.publish(50.0, {"request.issued": 4.0,
+                           "request.byte_hit_ratio": 0.4,
+                           "mac.backlog_total_s": 0.1,
+                           "cache.region0.bytes": 100.0,
+                           "cache.region0.entries": 1.0,
+                           "resilience.breakers_open": 1.0,
+                           "resilience.suspicion.region0": 0.7})
+        text = out.getvalue()
+        assert text.startswith("\x1b[2J\x1b[?25l")  # clear + hide cursor
+        assert "\x1b[H" in text  # cursor-home repaint, no scrolling
+        assert "unit test" in text and "region   0" in text
+        assert "breakers open" in text and "r0=0.70" in text
+        assert "50%" in text
+        dash.close()
+        assert out.getvalue().endswith("\x1b[?25h\n")  # cursor restored
+
+    def test_event_banner_in_frame(self):
+        clock = FakeClock()
+        bus = TelemetryBus()
+        out = io.StringIO()
+        Dashboard(bus, mode="ansi", out=out, clock=clock, interval=0.5)
+        bus.publish_event(5.0, "anomaly", {"rule": "x>1", "value": 3.0})
+        bus.publish(6.0, {"request.issued": 1.0})
+        assert "!! t=5.0s x>1 (observed 3)" in out.getvalue()
+
+
+def _write_export(path, rows=3, end=True, anomaly=True):
+    sink = JsonlLiveSink(path)
+    for i in range(1, rows + 1):
+        sink.on_row(float(i * 5), {"request.issued": float(i),
+                                   "mac.backlog_total_s": 0.0})
+        if anomaly and i == 2:
+            sink.on_event(float(i * 5), "anomaly",
+                          {"rule": "request.issued>1", "value": float(i)})
+    if end:
+        sink.close()
+    return path
+
+
+class TestWatchFile:
+    def test_replay_finished_export(self, tmp_path):
+        path = _write_export(tmp_path / "live.jsonl")
+        out = io.StringIO()
+        clock = FakeClock()
+        result = watch_file(path, mode="plain", out=out, interval=0.001,
+                            clock=clock, sleep=clock.sleep)
+        assert result.rows == 3 and result.events == 1
+        assert result.ended is True and result.timed_out is False
+        text = out.getvalue()
+        assert "req=1" in text
+        assert "ANOMALY t=10.0s request.issued>1" in text
+
+    def test_follow_times_out_without_end_marker(self, tmp_path):
+        path = _write_export(tmp_path / "live.jsonl", end=False)
+        clock = FakeClock()
+        result = watch_file(
+            path, follow=True, timeout=2.0, poll=0.5, mode="plain",
+            out=io.StringIO(), interval=0.001,
+            clock=clock, sleep=clock.sleep,
+        )
+        assert result.rows == 3
+        assert result.timed_out is True and result.ended is False
+
+    def test_follow_stops_at_end_marker(self, tmp_path):
+        path = _write_export(tmp_path / "live.jsonl")
+        clock = FakeClock()
+        result = watch_file(
+            path, follow=True, timeout=10.0, mode="plain",
+            out=io.StringIO(), interval=0.001,
+            clock=clock, sleep=clock.sleep,
+        )
+        assert result.ended is True and result.timed_out is False
+
+    def test_malformed_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "header"}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            watch_file(path, mode="plain", out=io.StringIO())
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            watch_file(tmp_path / "absent.jsonl", mode="plain",
+                       out=io.StringIO())
