@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
 """Chaos smoke gate: the same hostile run, resilience off vs. on.
 
-Runs one seed under a composite drop + crash + partition fault plan
-twice — first with the request-resilience layer off (seed behaviour),
-then with it on — and enforces the two acceptance properties of
+Schedules the two modes as a 2-job campaign on the experiment
+orchestrator (:mod:`repro.experiments.orchestrator`): each mode is a
+:func:`repro.experiments.chaos.run_chaos_cell` job executed by a
+contained :class:`PoolRunner` worker, committing a per-job artifact
+(report + full request trace) the moment it finishes.  A killed gate
+resumes — completed modes are digest-verified and reused, not re-run.
+The gate then enforces the two acceptance properties of
 ``docs/RESILIENCE.md``:
 
 * the resilient run's request **failure rate is strictly lower**, and
@@ -16,7 +20,8 @@ Artifacts (for CI upload):
 * ``chaos-off-trace.jsonl`` / ``chaos-on-trace.jsonl`` — full request
   traces of both runs;
 * ``chaos-trace-diff.json`` — the ranked per-phase trace diff between
-  them (``repro.obs.tracediff``).
+  them (``repro.obs.tracediff``);
+* ``campaign/`` — the orchestrator journal + per-job artifact tree.
 
 Exit status 0 when both properties hold, 1 on a regression.
 
@@ -29,66 +34,35 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from pathlib import Path
 
-from repro.config import SimulationConfig
-from repro.core.network import PReCinCtNetwork
-from repro.faults.plan import FaultPlan
-from repro.obs import Observers
+from repro.analysis.metrics import RunReport
+from repro.experiments.chaos import CHAOS_ENTRY, HOSTILE_PLAN, chaos_config
+from repro.experiments.orchestrator import (
+    PoolRunner,
+    RunGraph,
+    execute_graph,
+    job_dir,
+)
 from repro.obs.tracediff import diff_files
 
-#: The hostile composite plan: a long response-drop regime, a mid-run
-#: multi-node crash, and a partition window isolating region 0.
-HOSTILE_PLAN = (
-    "drop:p=0.35,category=response,start=30",
-    "crash:at=50,nodes=3+11+19",
-    "partition:start=90,end=150,regions=0",
-)
 
-
-def p95(values) -> float:
-    """p95 by the nearest-rank method; 0.0 for an empty sample."""
-    ordered = sorted(values)
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1, round(0.95 * len(ordered)) - 1))
-    return float(ordered[rank])
-
-
-def run_mode(resilience: bool, seed: int, duration: float, trace_path: Path):
-    cfg = SimulationConfig(
-        n_nodes=30,
-        n_items=80,
-        width=600.0,
-        height=600.0,
-        duration=duration,
-        warmup=20.0,
-        t_request=10.0,
-        t_update=40.0,
-        seed=seed,
-        consistency="push-adaptive-pull",
-        fault_plan=FaultPlan.parse(HOSTILE_PLAN),
-        resilience=resilience,
-    )
-    net = PReCinCtNetwork(cfg, observers=Observers(tracing=True))
-    net.run()
-    net.tracer.to_jsonl(trace_path)
-
-    issued = net.metrics.requests_issued
-    failed = net.metrics.requests_failed
-    fail_latencies = [t.latency for t in net.tracer.completed("failed")]
-    counters = net.stats.counters()
+def mode_metrics(report: RunReport, resilience: bool) -> dict:
+    """The gate's per-mode metrics, read back from a committed report."""
     return {
         "resilience": resilience,
-        "requests_issued": issued,
-        "requests_failed": failed,
-        "failure_rate": failed / issued if issued else 0.0,
-        "p95_failure_detection_latency_s": p95(fail_latencies),
-        "served_by_class": dict(net.metrics.served_by_class),
+        "requests_issued": report.requests_issued,
+        "requests_failed": report.requests_failed,
+        "failure_rate": report.extra["chaos.failure_rate"],
+        "p95_failure_detection_latency_s":
+            report.extra["chaos.p95_failure_detection_latency_s"],
+        "served_by_class": dict(report.served_by_class),
         "resilience_counters": {
-            k: v for k, v in sorted(counters.items())
-            if k.startswith("resilience.")
+            key[len("chaos."):]: value
+            for key, value in sorted(report.extra.items())
+            if key.startswith("chaos.resilience.")
         },
     }
 
@@ -99,17 +73,44 @@ def main(argv=None) -> int:
     parser.add_argument("--duration", type=float, default=300.0)
     parser.add_argument("--out-dir", type=Path, default=Path("."),
                         help="directory for reports and trace artifacts")
+    parser.add_argument("--processes", type=int, default=2,
+                        help="pool width for the two chaos jobs")
     args = parser.parse_args(argv)
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
-    off_trace = args.out_dir / "chaos-off-trace.jsonl"
-    on_trace = args.out_dir / "chaos-on-trace.jsonl"
     print(f"chaos smoke: seed={args.seed} duration={args.duration}s")
     print(f"  plan: {'; '.join(HOSTILE_PLAN)}")
-    off = run_mode(False, args.seed, args.duration, off_trace)
-    on = run_mode(True, args.seed, args.duration, on_trace)
 
-    diff = diff_files(off_trace, on_trace,
+    graph = RunGraph()
+    for mode in ("off", "on"):
+        graph.add(
+            f"resilience-{mode}",
+            chaos_config(mode == "on", args.seed, args.duration),
+            entry=CHAOS_ENTRY,
+        )
+    campaign_root = args.out_dir / "campaign"
+    summary = execute_graph(
+        graph,
+        PoolRunner(processes=args.processes),
+        campaign_root,
+        name="chaos-smoke",
+    )
+    if not summary.ok:
+        for job, error in sorted(summary.errors.items()):
+            print(f"chaos smoke: job {job} {summary.statuses[job]}: "
+                  f"{error.splitlines()[0]}", file=sys.stderr)
+        return 1
+
+    traces = {}
+    for mode in ("off", "on"):
+        job = f"resilience-{mode}"
+        target = args.out_dir / f"chaos-{mode}-trace.jsonl"
+        shutil.copyfile(job_dir(campaign_root, job) / "trace.jsonl", target)
+        traces[mode] = target
+    off = mode_metrics(summary.reports["resilience-off"], False)
+    on = mode_metrics(summary.reports["resilience-on"], True)
+
+    diff = diff_files(traces["off"], traces["on"],
                       label_a="resilience-off", label_b="resilience-on")
     (args.out_dir / "chaos-trace-diff.json").write_text(
         json.dumps(diff.to_json_dict(), indent=2, sort_keys=True) + "\n"

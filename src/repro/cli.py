@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.theoretical import TheoreticalModel
@@ -144,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("figure", choices=["4", "5", "6", "7", "8", "9a", "9b", "all"])
     fig_p.add_argument("--quick", action="store_true",
                        help="smaller/faster sweep (noisier curves)")
+    fig_p.add_argument("--processes", type=int, default=1, metavar="N",
+                       help="fan seed replications of figs 4-8 out over "
+                            "N worker processes (default 1 = serial)")
 
     th_p = sub.add_parser("theory", help="closed-form energy model (eqs. 11, 13)")
     th_p.add_argument("--nodes", type=int, nargs="+", default=[20, 40, 60, 80])
@@ -317,6 +321,73 @@ def build_parser() -> argparse.ArgumentParser:
                               "seconds without a new record")
     watch_p.add_argument("--no-color", action="store_true",
                          help="plain one-line-summary mode (no ANSI)")
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="orchestrated experiment campaigns: journaled, parallel, "
+             "resumable run-graphs with digest-verified artifacts",
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_cmd", required=True)
+
+    def _campaign_exec_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--runner", choices=("inprocess", "pool", "remote-stub"),
+            default="pool",
+            help="execution backend: sequential in-process, a contained "
+                 "process pool, or serialize job specs to DIR/queue for "
+                 "an external executor (default pool)",
+        )
+        p.add_argument("--processes", type=int, default=None, metavar="N",
+                       help="pool width (default: CPU count)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock timeout for the pool "
+                            "runner (default: none)")
+        p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                       help="stop after N job results this pass — a "
+                            "deterministic interrupt; exits 3 when jobs "
+                            "remain (resume to continue)")
+        p.add_argument("--live-export", default=None, metavar="PATH",
+                       help="append per-job telemetry rows to a JSONL "
+                            "file readable by 'repro watch'")
+        p.add_argument("--watch", action="store_true",
+                       help="render live campaign progress to stderr")
+        p.add_argument("--no-color", action="store_true",
+                       help="plain-line dashboard output (no ANSI)")
+
+    crun_p = camp_sub.add_parser(
+        "run", help="start (or continue) a preset campaign in DIR")
+    crun_p.add_argument("dir", metavar="DIR",
+                        help="campaign directory (definition, journal, "
+                             "per-job artifacts)")
+    crun_p.add_argument("--preset", default="mini",
+                        choices=("mini", "cache-study", "consistency"),
+                        help="which built-in run-graph to instantiate "
+                             "(default mini)")
+    crun_p.add_argument("--seeds", type=int, nargs="+", default=None,
+                        metavar="S", help="seed axis (default: 1 2)")
+    _campaign_exec_flags(crun_p)
+
+    cres_p = camp_sub.add_parser(
+        "resume",
+        help="continue the campaign recorded in DIR/campaign.json; "
+             "completed jobs are digest-verified and reused",
+    )
+    cres_p.add_argument("dir", metavar="DIR")
+    _campaign_exec_flags(cres_p)
+
+    cst_p = camp_sub.add_parser(
+        "status", help="replay DIR's journal and scan artifacts")
+    cst_p.add_argument("dir", metavar="DIR")
+
+    cver_p = camp_sub.add_parser(
+        "verify",
+        help="digest-verify every committed artifact against the "
+             "campaign definition (exit 1 on stale/corrupt)",
+    )
+    cver_p.add_argument("dir", metavar="DIR")
+    cver_p.add_argument("--strict", action="store_true",
+                        help="also fail on missing/incomplete jobs "
+                             "(i.e. require a fully completed campaign)")
 
     return parser
 
@@ -560,11 +631,11 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     want = args.figure
 
     if want in ("4", "5", "all"):
-        points = run_fig4_fig5(**quick)
+        points = run_fig4_fig5(processes=args.processes, **quick)
         print("=== Figs. 4-5: latency / byte hit ratio vs cache size ===")
         print(format_cache_sweep(points))
     if want in ("6", "7", "8", "all"):
-        points = run_fig6_fig7_fig8(**quick)
+        points = run_fig6_fig7_fig8(processes=args.processes, **quick)
         print("=== Figs. 6-8: consistency schemes vs update rate ===")
         print(format_consistency_sweep(points))
     if want in ("9a", "all"):
@@ -881,6 +952,158 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_runner(args: argparse.Namespace, root):
+    """Build the Runtime the campaign flags describe."""
+    from repro.experiments.orchestrator import (
+        InProcessRunner,
+        PoolRunner,
+        RemoteStubRunner,
+    )
+
+    if args.runner == "inprocess":
+        return InProcessRunner()
+    if args.runner == "remote-stub":
+        return RemoteStubRunner(root / "queue")
+    return PoolRunner(processes=args.processes, timeout=args.timeout)
+
+
+def _campaign_execute(args: argparse.Namespace, root, name: str,
+                      graph) -> int:
+    """Shared body of ``campaign run`` and ``campaign resume``."""
+    from repro.experiments.orchestrator import execute_graph
+    from repro.obs import Dashboard, JsonlLiveSink, TelemetryBus
+
+    bus = dashboard = None
+    if args.watch or args.live_export is not None:
+        bus = TelemetryBus()
+        if args.live_export is not None:
+            bus.attach_sink(JsonlLiveSink(args.live_export))
+        if args.watch:
+            dashboard = Dashboard(
+                bus,
+                duration=float(len(graph)),
+                interval=0.2,
+                mode="plain" if args.no_color else "auto",
+                title=f"campaign {name}",
+            )
+    try:
+        summary = execute_graph(
+            graph, _campaign_runner(args, root), root,
+            name=name, bus=bus, max_jobs=args.max_jobs,
+        )
+    finally:
+        if dashboard is not None:
+            dashboard.close()
+        if bus is not None:
+            bus.close()
+
+    print(summary.describe())
+    for job_id in sorted(summary.errors):
+        error = summary.errors[job_id].splitlines()
+        detail = error[-1] if error else ""
+        print(f"  {job_id}: {summary.statuses[job_id]} — {detail}",
+              file=sys.stderr)
+    if summary.errors:
+        return 1
+    if summary.interrupted:
+        print(f"interrupted after {args.max_jobs} job(s) — "
+              f"'repro campaign resume {root}' continues it")
+        return 3
+    if summary.count("deferred"):
+        print(f"{summary.count('deferred')} job(s) serialized to "
+              f"{root / 'queue'} for external execution")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.orchestrator import (
+        build_preset,
+        definition_graph,
+        definition_seeds,
+        load_definition,
+        replay_journal,
+        save_definition,
+        verify_artifact,
+    )
+
+    root = Path(args.dir)
+    cmd = args.campaign_cmd
+
+    if cmd == "run":
+        seeds = definition_seeds(args.seeds)
+        existing = load_definition(root)
+        if existing is not None and (
+            existing["preset"] != args.preset
+            or (args.seeds is not None and existing["seeds"] != seeds)
+        ):
+            print(
+                f"error: {root} already holds campaign "
+                f"{existing['name']!r} (preset {existing['preset']}, "
+                f"seeds {existing['seeds']}) — resume it or pick a "
+                f"fresh directory",
+                file=sys.stderr,
+            )
+            return 2
+        if existing is not None:
+            seeds = existing["seeds"]
+        name = f"{args.preset}-campaign"
+        root.mkdir(parents=True, exist_ok=True)
+        save_definition(root, name=name, preset=args.preset, seeds=seeds)
+        graph = build_preset(args.preset, seeds)
+        return _campaign_execute(args, root, name, graph)
+
+    definition = load_definition(root)
+    if definition is None:
+        print(f"error: no campaign.json in {root} — start one with "
+              f"'repro campaign run {root}'", file=sys.stderr)
+        return 2
+    graph = definition_graph(definition)
+
+    if cmd == "resume":
+        return _campaign_execute(args, root, definition["name"], graph)
+
+    checks = {spec.job_id: verify_artifact(root, spec) for spec in graph}
+
+    if cmd == "status":
+        state = replay_journal(root / "journal.jsonl")
+        print(f"campaign {definition['name']!r} at {root}: "
+              f"preset {definition['preset']}, "
+              f"seeds {definition['seeds']}, {len(graph)} job(s)")
+        if state.torn_lines:
+            print(f"  journal: {state.torn_lines} torn line(s) "
+                  f"(mid-write kill residue)")
+        for job_id in sorted(checks):
+            check = checks[job_id]
+            journal_state = state.job_state.get(job_id, "-")
+            starts = state.event_count("start", job_id)
+            print(f"  {job_id:40s} artifact={check.status:12s} "
+                  f"journal={journal_state:6s} starts={starts}")
+        done = sum(1 for c in checks.values() if c.ok)
+        print(f"{done}/{len(graph)} job(s) verified complete"
+              + ("" if done == len(graph)
+                 else f" — 'repro campaign resume {root}' continues it"))
+        return 0
+
+    # cmd == "verify"
+    bad = {j: c for j, c in checks.items() if c.completed and not c.ok}
+    incomplete = {j: c for j, c in checks.items() if not c.completed}
+    for job_id in sorted(bad):
+        check = bad[job_id]
+        print(f"  {job_id}: {check.status} — {check.detail}",
+              file=sys.stderr)
+    if args.strict:
+        for job_id in sorted(incomplete):
+            print(f"  {job_id}: {incomplete[job_id].status}",
+                  file=sys.stderr)
+    n_ok = sum(1 for c in checks.values() if c.ok)
+    print(f"campaign {definition['name']!r}: {n_ok}/{len(graph)} "
+          f"artifact(s) verified, {len(bad)} bad, "
+          f"{len(incomplete)} incomplete")
+    if bad or (args.strict and incomplete):
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -905,6 +1128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -1,9 +1,12 @@
 """Experiment campaigns: named, persistent, resumable sweeps.
 
 A :class:`Campaign` bundles a set of labelled configurations, runs them
-(optionally in parallel), persists every result to a JSON store as it
-completes, and — crucially for long sweeps — *resumes*: cells whose
-label already exists in the store are skipped on the next invocation.
+through the campaign orchestrator
+(:mod:`repro.experiments.orchestrator`), persists every result to a
+JSON store **as it completes** — a campaign killed at cell 99/100
+keeps 99 results — and *resumes*: cells whose label already exists in
+the store are skipped on the next invocation, and cells with a
+committed orchestrator artifact are digest-verified and reused.
 
 ::
 
@@ -21,7 +24,7 @@ label already exists in the store are skipped on the next invocation.
 
 from __future__ import annotations
 
-import json
+import tempfile
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -29,8 +32,15 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.compare import compare_reports
 from repro.analysis.metrics import RunReport
 from repro.config import SimulationConfig
+from repro.experiments.orchestrator import (
+    InProcessRunner,
+    PoolRunner,
+    RunGraph,
+    Runtime,
+    execute_graph,
+    slugify,
+)
 from repro.experiments.report_io import reports_from_json, reports_to_json
-from repro.experiments.sweeps import run_sweep
 
 __all__ = ["Campaign"]
 
@@ -70,21 +80,105 @@ class Campaign:
     def pending(self) -> List[str]:
         return [l for l, _ in self._cells if l not in self._results]
 
+    @property
+    def campaign_dir(self) -> Optional[Path]:
+        """Orchestrator root (journal + per-cell artifacts) when stored."""
+        if self.store_path is None:
+            return None
+        return self.store_path.parent / f"{self.name}.campaign"
+
     # -- execution --------------------------------------------------------------
 
-    def run(self, processes: Optional[int] = 1) -> List[RunReport]:
-        """Run all pending cells; return every cell's report, in order.
+    def _graph(self) -> Tuple[RunGraph, Dict[str, str]]:
+        """Run-graph of the pending cells + job-id → label mapping."""
+        graph = RunGraph()
+        labels: Dict[str, str] = {}
+        for label, cfg in self._cells:
+            if label in self._results:
+                continue
+            job_id = slugify(label)
+            suffix = 2
+            while job_id in graph:
+                job_id = f"{slugify(label)}-{suffix}"
+                suffix += 1
+            graph.add(job_id, cfg)
+            labels[job_id] = label
+        return graph, labels
 
-        Results are persisted to the store (when configured) after the
-        batch completes, labelled with their cell labels.
+    def run(
+        self,
+        processes: Optional[int] = 1,
+        runner: Optional[Runtime] = None,
+        max_cells: Optional[int] = None,
+    ) -> List[RunReport]:
+        """Run pending cells; return completed cells' reports, in order.
+
+        Every cell's report is persisted to the store (when configured)
+        **the moment the cell completes** — the orchestrator journals
+        each transition and commits per-cell artifacts, so an
+        interrupted campaign resumes with everything finished so far.
+
+        ``runner`` overrides the default choice (``processes <= 1`` →
+        in-process, otherwise a contained process pool).  ``max_cells``
+        stops after that many cells (the deterministic interrupt used
+        by the crash-and-resume tests); a cell that *fails* raises
+        ``RuntimeError`` after the surviving cells were persisted.
         """
-        todo = [(label, cfg) for label, cfg in self._cells if label not in self._results]
-        if todo:
-            results = run_sweep([cfg for _, cfg in todo], processes=processes)
-            for (label, _cfg), (_cfg2, report) in zip(todo, results):
-                self._results[label] = replace(report, config_label=label)
-            self._persist()
-        return [self._results[label] for label, _ in self._cells]
+        graph, labels = self._graph()
+        if len(graph):
+            if runner is None:
+                runner = (
+                    InProcessRunner()
+                    if processes is not None and processes <= 1
+                    else PoolRunner(processes=processes)
+                )
+
+            def persist_result(result) -> None:
+                if result.status != "done":
+                    return
+                label = labels[result.job_id]
+                self._results[label] = replace(
+                    result.report, config_label=label
+                )
+                self._persist()
+
+            root = self.campaign_dir
+            if root is None:
+                # Store-less campaigns still run through the runtime —
+                # artifacts land in a throwaway root.
+                with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+                    summary = execute_graph(
+                        graph, runner, tmp, name=self.name,
+                        max_jobs=max_cells, on_result=persist_result,
+                    )
+            else:
+                summary = execute_graph(
+                    graph, runner, root, name=self.name,
+                    max_jobs=max_cells, on_result=persist_result,
+                )
+                # Artifacts verified on resume never reach on_result;
+                # fold them into the store too.
+                for job_id, report in summary.reports.items():
+                    label = labels[job_id]
+                    if label not in self._results:
+                        self._results[label] = replace(
+                            report, config_label=label
+                        )
+                self._persist()
+            if summary.errors:
+                failures = ", ".join(
+                    f"{labels[j]}: {summary.statuses[j]}"
+                    for j in sorted(summary.errors)
+                )
+                raise RuntimeError(
+                    f"campaign {self.name!r}: {len(summary.errors)} "
+                    f"cell(s) failed — {failures}"
+                )
+        return [
+            self._results[label]
+            for label, _ in self._cells
+            if label in self._results
+        ]
 
     def _persist(self) -> None:
         if self.store_path is None:

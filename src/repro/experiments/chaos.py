@@ -1,0 +1,89 @@
+"""Chaos cells: hostile-plan simulations as orchestrator jobs.
+
+``scripts/chaos_smoke.py`` used to run its two modes (resilience off /
+on) inline; they are now ordinary campaign jobs with a custom entry
+point (:func:`run_chaos_cell`) so the chaos matrix schedules onto the
+same journaled, resumable runtime as every other sweep — and the two
+modes run in parallel under a :class:`PoolRunner`.
+
+The entry runs one traced simulation, writes the full request trace to
+``trace.jsonl`` in the job's artifact directory, and folds the chaos
+verdict inputs (failure rate, p95 failure-detection latency, the
+``resilience.*`` counters) into the report's ``extra`` map so the gate
+needs nothing but committed artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.metrics import RunReport
+from repro.config import SimulationConfig
+from repro.faults.plan import FaultPlan
+
+__all__ = ["CHAOS_ENTRY", "HOSTILE_PLAN", "chaos_config", "p95", "run_chaos_cell"]
+
+#: The hostile composite plan: a long response-drop regime, a mid-run
+#: multi-node crash, and a partition window isolating region 0.
+HOSTILE_PLAN = (
+    "drop:p=0.35,category=response,start=30",
+    "crash:at=50,nodes=3+11+19",
+    "partition:start=90,end=150,regions=0",
+)
+
+#: Entry-point string for chaos jobs.
+CHAOS_ENTRY = "repro.experiments.chaos:run_chaos_cell"
+
+
+def p95(values: Iterable[float]) -> float:
+    """p95 by the nearest-rank method; 0.0 for an empty sample."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(0.95 * len(ordered)) - 1))
+    return float(ordered[rank])
+
+
+def chaos_config(
+    resilience: bool, seed: int, duration: float
+) -> SimulationConfig:
+    """One chaos mode as a plain config (the job spec's payload)."""
+    return SimulationConfig(
+        n_nodes=30,
+        n_items=80,
+        width=600.0,
+        height=600.0,
+        duration=duration,
+        warmup=20.0,
+        t_request=10.0,
+        t_update=40.0,
+        seed=seed,
+        consistency="push-adaptive-pull",
+        fault_plan=FaultPlan.parse(HOSTILE_PLAN),
+        resilience=resilience,
+    )
+
+
+def run_chaos_cell(cfg: SimulationConfig, artifact_dir: Path) -> RunReport:
+    """Orchestrator entry: one traced hostile run + chaos metrics."""
+    from repro.core.network import PReCinCtNetwork
+    from repro.obs import Observers
+
+    net = PReCinCtNetwork(cfg, observers=Observers(tracing=True))
+    report = net.run()
+    net.tracer.to_jsonl(Path(artifact_dir) / "trace.jsonl")
+
+    fail_latencies = [t.latency for t in net.tracer.completed("failed")]
+    extra = dict(report.extra)
+    extra["chaos.failure_rate"] = (
+        report.requests_failed / report.requests_issued
+        if report.requests_issued
+        else 0.0
+    )
+    extra["chaos.p95_failure_detection_latency_s"] = p95(fail_latencies)
+    for name, value in sorted(net.stats.counters().items()):
+        if name.startswith("resilience."):
+            extra[f"chaos.{name}"] = float(value)
+    return replace(report, extra=extra)

@@ -11,7 +11,7 @@ theoretical validation.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import RunReport
 from repro.analysis.theoretical import TheoreticalModel
@@ -88,11 +88,13 @@ def run_fig4_fig5(
     warmup: float = 300.0,
     seeds: Sequence[int] = (1, 2, 3),
     n_items: int = 1000,
+    processes: Optional[int] = 1,
 ) -> List[CacheSweepPoint]:
     """Latency (Fig. 4) and byte hit ratio (Fig. 5) vs cache size.
 
     Paper setup: 80 nodes at 6 m/s, cache capacity 0.5 %-2.5 % of the
-    database size, read-only workload.
+    database size, read-only workload.  ``processes`` fans the seed
+    replications of each cell out through the campaign runtime.
     """
     base = SimulationConfig(
         n_nodes=n_nodes,
@@ -108,7 +110,9 @@ def run_fig4_fig5(
             cfg = replace(
                 base, replacement_policy=policy, cache_fraction=fraction
             )
-            report = run_seeds(cfg, seeds, f"{policy}@{fraction:.3%}")
+            report = run_seeds(
+                cfg, seeds, f"{policy}@{fraction:.3%}", processes=processes
+            )
             points.append(
                 CacheSweepPoint(
                     policy=policy,
@@ -148,6 +152,7 @@ def run_fig6_fig7_fig8(
     seeds: Sequence[int] = (1, 2, 3),
     n_items: int = 1000,
     t_request: float = 30.0,
+    processes: Optional[int] = 1,
 ) -> List[ConsistencySweepPoint]:
     """Control message overhead (Fig. 6), false hit ratio (Fig. 7) and
     latency (Fig. 8) vs ``Tupdate / Trequest``.
@@ -170,7 +175,9 @@ def run_fig6_fig7_fig8(
             cfg = replace(
                 base, consistency=scheme, t_update=t_request * ratio
             )
-            report = run_seeds(cfg, seeds, f"{scheme}@ratio{ratio:g}")
+            report = run_seeds(
+                cfg, seeds, f"{scheme}@ratio{ratio:g}", processes=processes
+            )
             points.append(
                 ConsistencySweepPoint(
                     scheme=scheme,

@@ -1,0 +1,182 @@
+"""Per-job artifact directories: the durable record of a finished job.
+
+Layout under a campaign root::
+
+    <root>/
+      journal.jsonl               # state transitions (repro...journal)
+      jobs/<job_id>/
+        spec.json                 # the JobSpec that produced this dir
+        report.json               # the RunReport (report_io list format)
+        result.json               # commit record: digests + wall time
+        ...                       # entry-specific extras (traces, ...)
+
+The **commit point** is the atomic rename of ``result.json``: a job is
+complete iff that file exists and is internally consistent.  Everything
+is written tmp-file-then-``os.replace`` in the same directory, so a
+kill at any instant leaves either the previous state or the new one —
+never a half-written record.
+
+:func:`verify_artifact` is the resume gate.  It recomputes the report
+digest from ``report.json`` and compares both digests recorded in
+``result.json`` against the artifact *and* against the current graph's
+spec — a completed artifact is only trusted when the report hashes to
+what the commit recorded **and** the spec that produced it is still the
+spec the campaign wants.  Anything else ("stale-spec",
+"corrupt-report", missing pieces) is re-run, not silently reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.analysis.metrics import RunReport
+from repro.experiments.orchestrator.spec import JobSpec, spec_digest
+from repro.experiments.report_io import reports_from_json, reports_to_json
+from repro.faults.audit import report_digest
+
+__all__ = [
+    "ArtifactCheck",
+    "atomic_write_json",
+    "commit_artifact",
+    "job_dir",
+    "load_artifact_report",
+    "verify_artifact",
+]
+
+PathLike = Union[str, Path]
+
+
+def job_dir(root: PathLike, job_id: str) -> Path:
+    """The artifact directory of one job (created on demand)."""
+    return Path(root) / "jobs" / job_id
+
+
+def atomic_write_json(path: PathLike, payload: Any) -> None:
+    """Write JSON durably: tmp file in the same dir, fsync, rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def commit_artifact(
+    root: PathLike, spec: JobSpec, report: RunReport, wall_s: float
+) -> str:
+    """Persist one finished job's artifact; returns the report digest.
+
+    Writes ``spec.json`` and ``report.json`` first, then commits with
+    the atomic rename of ``result.json`` — the moment that rename lands,
+    the job is durably complete.
+    """
+    directory = job_dir(root, spec.job_id)
+    directory.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(directory / "spec.json", spec.to_dict())
+    # report_io's list format, via a tmp file for the same atomicity.
+    tmp = directory / ".report.json.tmp"
+    reports_to_json([report], tmp)
+    os.replace(tmp, directory / "report.json")
+    digest = report_digest(report)
+    atomic_write_json(
+        directory / "result.json",
+        {
+            "job_id": spec.job_id,
+            "status": "done",
+            "spec_digest": spec_digest(spec),
+            "report_digest": digest,
+            "wall_s": wall_s,
+        },
+    )
+    return digest
+
+
+@dataclass(frozen=True)
+class ArtifactCheck:
+    """Verdict of one :func:`verify_artifact` pass."""
+
+    job_id: str
+    #: "ok" | "missing" | "incomplete" | "stale-spec" | "corrupt-report"
+    #: | "corrupt-result"
+    status: str
+    detail: str = ""
+    report: Optional[RunReport] = None
+    report_digest: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def completed(self) -> bool:
+        """Did a commit land, however (in)valid it now is?"""
+        return self.status not in ("missing",)
+
+
+def verify_artifact(root: PathLike, spec: JobSpec) -> ArtifactCheck:
+    """Digest-verify one job's artifact against the current spec."""
+    directory = job_dir(root, spec.job_id)
+    result_path = directory / "result.json"
+    if not result_path.exists():
+        return ArtifactCheck(spec.job_id, "missing", "no result.json")
+    try:
+        result = json.loads(result_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return ArtifactCheck(
+            spec.job_id, "corrupt-result", f"unreadable result.json: {exc}"
+        )
+    if result.get("status") != "done":
+        return ArtifactCheck(
+            spec.job_id, "incomplete",
+            f"result status {result.get('status')!r}",
+        )
+    want_spec = spec_digest(spec)
+    if result.get("spec_digest") != want_spec:
+        return ArtifactCheck(
+            spec.job_id, "stale-spec",
+            "campaign spec changed since this artifact was produced",
+        )
+    report_path = directory / "report.json"
+    if not report_path.exists():
+        return ArtifactCheck(spec.job_id, "incomplete", "no report.json")
+    try:
+        reports = reports_from_json(report_path)
+        if len(reports) != 1:
+            raise ValueError(f"expected 1 report, found {len(reports)}")
+        report = reports[0]
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        return ArtifactCheck(
+            spec.job_id, "corrupt-report", f"unreadable report.json: {exc}"
+        )
+    recomputed = report_digest(report)
+    if recomputed != result.get("report_digest"):
+        return ArtifactCheck(
+            spec.job_id, "corrupt-report",
+            "report.json does not hash to the committed report_digest",
+        )
+    return ArtifactCheck(
+        spec.job_id, "ok", report=report, report_digest=recomputed
+    )
+
+
+def load_artifact_report(root: PathLike, job_id: str) -> RunReport:
+    """Load a completed job's report (no verification)."""
+    [report] = reports_from_json(job_dir(root, job_id) / "report.json")
+    return report

@@ -1,0 +1,256 @@
+"""The campaign executor: journaled, resumable run-graph execution.
+
+:func:`execute_graph` drives one pass of a campaign:
+
+1. **Verify** — every job with a committed artifact is digest-verified
+   (:func:`~repro.experiments.orchestrator.artifacts.verify_artifact`).
+   Verified artifacts are *reused* (journalled as ``reuse``); stale or
+   corrupted ones are journalled (``stale``) and re-queued.  Resume is
+   therefore just "execute the same graph at the same root again".
+2. **Schedule** — remaining jobs run in dependency waves through the
+   chosen :class:`~repro.experiments.orchestrator.runtime.Runtime`;
+   each transition lands in the journal (``start``/``done``/``fail``/
+   ``defer``) the moment it happens, and completed artifacts are
+   committed by the workers themselves, so a kill at any instant loses
+   at most the jobs in flight.
+3. **Report** — per-job progress rows and failure events go to an
+   optional :class:`~repro.obs.stream.TelemetryBus` (the same bus the
+   live ``--watch`` dashboard and ``repro watch`` consume), with
+   ``t = resolved jobs`` against ``duration = total jobs`` so progress
+   bars and ETA come for free.
+
+``max_jobs`` bounds how many job *results* this pass consumes before
+stopping early (journalled as an interrupted ``end``) — the
+deterministic interrupt hook the crash-and-resume tests and the CI
+kill-and-resume smoke are built on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.analysis.metrics import RunReport
+from repro.experiments.orchestrator.artifacts import verify_artifact
+from repro.experiments.orchestrator.graph import RunGraph
+from repro.experiments.orchestrator.journal import Journal
+from repro.experiments.orchestrator.runtime import Runtime
+from repro.experiments.orchestrator.worker import JobResult
+
+__all__ = ["CampaignSummary", "execute_graph"]
+
+PathLike = Union[str, Path]
+
+#: Result statuses that resolve a job for dependency purposes.
+_SUCCESS = ("done", "reused")
+_FAILURE = ("failed", "crashed", "timeout", "blocked")
+
+
+@dataclass
+class CampaignSummary:
+    """Outcome of one :func:`execute_graph` pass."""
+
+    name: str
+    #: job_id -> "done" | "reused" | "failed" | "crashed" | "timeout"
+    #: | "blocked" | "deferred" | "pending"
+    statuses: Dict[str, str] = field(default_factory=dict)
+    #: Reports of every successful job (fresh or verified-reused).
+    reports: Dict[str, RunReport] = field(default_factory=dict)
+    #: Report digests of every successful job.
+    report_digests: Dict[str, str] = field(default_factory=dict)
+    #: Error strings of failed jobs.
+    errors: Dict[str, str] = field(default_factory=dict)
+    #: True when this pass stopped early (``max_jobs`` reached).
+    interrupted: bool = False
+
+    def count(self, *statuses: str) -> int:
+        return sum(1 for s in self.statuses.values() if s in statuses)
+
+    @property
+    def n_done(self) -> int:
+        return self.count("done")
+
+    @property
+    def n_reused(self) -> int:
+        return self.count("reused")
+
+    @property
+    def n_failed(self) -> int:
+        return self.count(*_FAILURE)
+
+    @property
+    def n_pending(self) -> int:
+        return self.count("pending", "deferred")
+
+    @property
+    def ok(self) -> bool:
+        """Every job succeeded (fresh or reused)."""
+        return all(s in _SUCCESS for s in self.statuses.values())
+
+    def describe(self) -> str:
+        parts = [
+            f"campaign {self.name!r}: {len(self.statuses)} job(s) — "
+            f"{self.n_done} run, {self.n_reused} reused, "
+            f"{self.n_failed} failed, {self.n_pending} pending"
+        ]
+        if self.interrupted:
+            parts.append(" (interrupted)")
+        return "".join(parts)
+
+
+def execute_graph(
+    graph: RunGraph,
+    runner: Runtime,
+    root: PathLike,
+    *,
+    name: str = "campaign",
+    bus=None,
+    max_jobs: Optional[int] = None,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+) -> CampaignSummary:
+    """Run (or resume) a campaign graph at ``root``; see module docs."""
+    graph.validate()
+    if max_jobs is not None and max_jobs < 0:
+        raise ValueError(f"max_jobs must be >= 0, got {max_jobs}")
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    summary = CampaignSummary(name=name)
+    started_wall = time.monotonic()
+
+    with Journal(root / "journal.jsonl") as journal:
+        journal.begin(name, len(graph))
+        succeeded: set = set()
+
+        # -- 1. verify committed artifacts; reuse what survives --------
+        pending: List[str] = []
+        for spec in graph:
+            check = verify_artifact(root, spec)
+            if check.ok:
+                journal.reuse(spec.job_id, check.report_digest)
+                summary.statuses[spec.job_id] = "reused"
+                summary.reports[spec.job_id] = check.report
+                summary.report_digests[spec.job_id] = check.report_digest
+                succeeded.add(spec.job_id)
+            else:
+                if check.completed:
+                    # A commit landed but no longer verifies: stale
+                    # spec, tampered report, torn write.  Re-run it.
+                    journal.stale(spec.job_id, f"{check.status}: {check.detail}")
+                summary.statuses[spec.job_id] = "pending"
+                pending.append(spec.job_id)
+
+        def _publish(kind: Optional[str] = None, payload: Optional[dict] = None):
+            if bus is None:
+                return
+            resolved = len(graph) - summary.count("pending")
+            row = {
+                "campaign.total": float(len(graph)),
+                "campaign.done": float(summary.n_done),
+                "campaign.reused": float(summary.n_reused),
+                "campaign.failed": float(summary.n_failed),
+                "campaign.deferred": float(summary.count("deferred")),
+                "campaign.pending": float(summary.count("pending")),
+                "campaign.wall_s": time.monotonic() - started_wall,
+            }
+            bus.publish(float(resolved), row)
+            if kind is not None:
+                bus.publish_event(float(resolved), kind, payload or {})
+
+        _publish()
+
+        # -- 2. dependency-wave scheduling ------------------------------
+        consumed = 0
+        interrupted = max_jobs is not None and consumed >= max_jobs
+        while pending and not interrupted:
+            ready = [
+                jid for jid in pending
+                if set(graph[jid].after) <= succeeded
+            ]
+            if not ready:
+                # Nothing runnable: mark jobs whose dependencies failed
+                # as blocked; anything else (e.g. waiting on a deferred
+                # remote job) stays pending for a later resume.
+                blocked_any = False
+                for jid in pending:
+                    blockers = [
+                        dep for dep in graph[jid].after
+                        if summary.statuses.get(dep) in _FAILURE
+                    ]
+                    if blockers:
+                        journal.fail(
+                            jid, "blocked",
+                            f"dependency failed: {', '.join(blockers)}",
+                        )
+                        summary.statuses[jid] = "blocked"
+                        summary.errors[jid] = f"blocked on {', '.join(blockers)}"
+                        _publish("job-blocked", {"rule": f"{jid} blocked"})
+                        blocked_any = True
+                pending = [
+                    jid for jid in pending
+                    if summary.statuses[jid] == "pending"
+                ]
+                if not blocked_any:
+                    break
+                continue
+            if max_jobs is not None:
+                ready = ready[: max(max_jobs - consumed, 0)]
+            specs = [graph[jid] for jid in ready]
+            stream = runner.run(
+                specs, root, on_start=lambda spec: journal.start(spec.job_id)
+            )
+            try:
+                for result in stream:
+                    _record(result, journal, summary, succeeded)
+                    if result.status in _FAILURE:
+                        _publish(
+                            "job-" + result.status,
+                            {"rule": f"{result.job_id} {result.status}",
+                             "error": (result.error or "")[:200]},
+                        )
+                    else:
+                        _publish()
+                    if on_result is not None:
+                        on_result(result)
+                    consumed += 1
+                    if max_jobs is not None and consumed >= max_jobs:
+                        interrupted = True
+                        break
+            finally:
+                stream.close()
+            pending = [
+                jid for jid in pending
+                if summary.statuses.get(jid) == "pending"
+            ]
+
+        interrupted = interrupted and bool(pending)
+        summary.interrupted = interrupted
+        journal.end(
+            done=summary.n_done,
+            failed=summary.n_failed,
+            reused=summary.n_reused,
+            interrupted=interrupted,
+        )
+        _publish()
+    return summary
+
+
+def _record(
+    result: JobResult,
+    journal: Journal,
+    summary: CampaignSummary,
+    succeeded: set,
+) -> None:
+    """Fold one runner result into the journal and summary."""
+    if result.status == "done":
+        journal.done(result.job_id, result.report_digest, result.wall_s)
+        summary.reports[result.job_id] = result.report
+        summary.report_digests[result.job_id] = result.report_digest
+        succeeded.add(result.job_id)
+    elif result.status == "deferred":
+        journal.defer(result.job_id, "queued for remote execution")
+    else:
+        journal.fail(result.job_id, result.status, result.error or "")
+        summary.errors[result.job_id] = result.error or result.status
+    summary.statuses[result.job_id] = result.status

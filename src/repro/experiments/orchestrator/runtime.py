@@ -1,0 +1,257 @@
+"""Pluggable runtimes: who actually executes the run-graph's jobs.
+
+Every runner implements one interface (:class:`Runtime`): take a batch
+of ready :class:`JobSpec` s and an artifact root, lazily yield
+:class:`JobResult` s *as jobs complete* (not in submission order).  The
+orchestrator journals transitions around that stream; the runners own
+process management only.
+
+* :class:`InProcessRunner` — sequential, same process.  Zero isolation,
+  zero overhead; the debugger/profiler runtime and the default for
+  single-process campaigns.
+* :class:`PoolRunner` — one worker **process per job**, at most
+  ``processes`` alive at once.  Per-job wall-clock timeouts and full
+  crash containment: a job that raises, a worker that dies (OOM-kill,
+  SIGKILL, segfault), or a job that overruns its timeout marks *that
+  job* failed/crashed/timeout and the pool keeps serving the rest —
+  there is no shared executor to break.  Each worker commits its own
+  artifact before reporting back, so even the orchestrator dying right
+  after a job finishes loses nothing.
+* :class:`RemoteStubRunner` — serializes each job spec as a JSON file
+  into a queue directory and yields ``deferred`` results.  The file
+  format is the contract for future slurm/distributed backends: a
+  remote agent that picks a spec up, runs
+  :func:`repro.experiments.orchestrator.worker.execute_job`, and writes
+  the artifact directory produces a campaign the local orchestrator
+  resumes seamlessly (the artifacts digest-verify like any other).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from repro.experiments.orchestrator.artifacts import (
+    atomic_write_json,
+    load_artifact_report,
+)
+from repro.experiments.orchestrator.spec import JobSpec
+from repro.experiments.orchestrator.worker import (
+    JobResult,
+    _pool_job_main,
+    execute_job,
+)
+
+__all__ = [
+    "InProcessRunner",
+    "PoolRunner",
+    "RemoteStubRunner",
+    "Runtime",
+]
+
+PathLike = Union[str, Path]
+OnStart = Optional[Callable[[JobSpec], None]]
+
+
+class Runtime:
+    """Interface every runner implements."""
+
+    #: Human-readable runner name (journal/status output).
+    name: str = "runtime"
+
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        root: PathLike,
+        on_start: OnStart = None,
+    ) -> Iterator[JobResult]:
+        """Lazily yield one :class:`JobResult` per job, as completed.
+
+        ``on_start`` is invoked in the orchestrator process immediately
+        before a job begins executing (the journal's ``start`` hook).
+        Closing the iterator early must release any live workers.
+        """
+        raise NotImplementedError
+
+
+class InProcessRunner(Runtime):
+    """Sequential execution in the orchestrator process."""
+
+    name = "inprocess"
+
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        root: PathLike,
+        on_start: OnStart = None,
+    ) -> Iterator[JobResult]:
+        for spec in jobs:
+            if on_start is not None:
+                on_start(spec)
+            yield execute_job(spec, root)
+
+
+class PoolRunner(Runtime):
+    """One contained worker process per job, bounded concurrency."""
+
+    name = "pool"
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.02,
+        term_grace: float = 5.0,
+    ):
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.processes = processes or multiprocessing.cpu_count()
+        #: Default per-job wall timeout; a spec's own ``timeout`` wins.
+        self.timeout = timeout
+        self._ctx = multiprocessing.get_context(start_method)
+        self._poll = poll_interval
+        self._term_grace = term_grace
+
+    def _job_timeout(self, spec: JobSpec) -> Optional[float]:
+        return spec.timeout if spec.timeout is not None else self.timeout
+
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        root: PathLike,
+        on_start: OnStart = None,
+    ) -> Iterator[JobResult]:
+        pending = list(jobs)
+        pending.reverse()  # pop() from the front of submission order
+        active = {}  # proc -> (spec, queue, started_monotonic)
+        try:
+            while pending or active:
+                while pending and len(active) < self.processes:
+                    spec = pending.pop()
+                    queue = self._ctx.SimpleQueue()
+                    proc = self._ctx.Process(
+                        target=_pool_job_main,
+                        args=(spec, str(root), queue),
+                        name=f"repro-job-{spec.job_id}",
+                    )
+                    if on_start is not None:
+                        on_start(spec)
+                    proc.start()
+                    active[proc] = (spec, queue, time.monotonic())
+                result = self._poll_active(active, root)
+                if result is not None:
+                    yield result
+                else:
+                    time.sleep(self._poll)
+        finally:
+            for proc, (spec, queue, _) in active.items():
+                self._reap(proc)
+                queue.close()
+
+    # -- internals --------------------------------------------------------
+
+    def _poll_active(self, active, root: PathLike) -> Optional[JobResult]:
+        """Harvest at most one finished/overrun worker from ``active``."""
+        now = time.monotonic()
+        for proc in list(active):
+            spec, queue, started = active[proc]
+            # A worker that reported is done regardless of liveness —
+            # check the queue before the process to close the race
+            # between its final write and its exit.
+            if not queue.empty():
+                payload = queue.get()
+                proc.join()
+                queue.close()
+                del active[proc]
+                return self._from_payload(spec, payload, root)
+            if not proc.is_alive():
+                proc.join()
+                queue.close()
+                del active[proc]
+                return JobResult(
+                    spec.job_id, "crashed",
+                    error=(
+                        f"worker died without reporting "
+                        f"(exitcode {proc.exitcode})"
+                    ),
+                    wall_s=now - started,
+                )
+            limit = self._job_timeout(spec)
+            if limit is not None and now - started > limit:
+                self._reap(proc)
+                queue.close()
+                del active[proc]
+                return JobResult(
+                    spec.job_id, "timeout",
+                    error=f"exceeded per-job timeout of {limit:g}s",
+                    wall_s=now - started,
+                )
+        return None
+
+    def _from_payload(self, spec: JobSpec, payload, root: PathLike) -> JobResult:
+        if payload["status"] == "done":
+            # The worker committed the artifact; read the report back
+            # rather than piping it (keeps the IPC payload tiny and the
+            # artifact the single source of truth).
+            report = load_artifact_report(root, spec.job_id)
+            return JobResult(
+                spec.job_id, "done", report=report,
+                report_digest=payload["report_digest"],
+                wall_s=payload["wall_s"],
+            )
+        return JobResult(
+            spec.job_id, payload["status"], error=payload.get("error"),
+            wall_s=payload.get("wall_s", 0.0),
+        )
+
+    def _reap(self, proc) -> None:
+        """Terminate (then kill) one worker process."""
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(self._term_grace)
+            if proc.is_alive():  # pragma: no cover - stuck in a syscall
+                proc.kill()
+                proc.join()
+        else:
+            proc.join()
+
+
+class RemoteStubRunner(Runtime):
+    """Serialize job specs for a future slurm/distributed backend.
+
+    Each job becomes ``<queue_dir>/<job_id>.json`` (atomic rename)
+    holding the full spec, the campaign artifact root, and the digest a
+    remote executor must reproduce.  Jobs are yielded as ``deferred`` —
+    the campaign leaves them pending until a remote agent fills in the
+    artifact directories and a resume pass verifies them.
+    """
+
+    name = "remote-stub"
+
+    def __init__(self, queue_dir: PathLike):
+        self.queue_dir = Path(queue_dir)
+
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        root: PathLike,
+        on_start: OnStart = None,
+    ) -> Iterator[JobResult]:
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        for spec in jobs:
+            payload = {
+                "schema": "repro.orchestrator.remote-job/v1",
+                "job": spec.to_dict(),
+                "artifact_root": str(Path(root).resolve()),
+                "entry": spec.entry,
+            }
+            path = self.queue_dir / f"{spec.job_id}.json"
+            atomic_write_json(path, payload)
+            yield JobResult(
+                spec.job_id, "deferred", error=None, wall_s=0.0,
+            )

@@ -27,13 +27,23 @@ def replace_label(report: RunReport, label: str) -> RunReport:
     return dc_replace(report, config_label=label)
 
 
-def run_seeds(cfg: SimulationConfig, seeds: Sequence[int], label: str) -> RunReport:
+def run_seeds(
+    cfg: SimulationConfig,
+    seeds: Sequence[int],
+    label: str,
+    processes: Optional[int] = 1,
+) -> RunReport:
     """Run the same configuration over several seeds and average.
 
     Averaging across independent replications is how the paper's curves
     are produced; counters are summed, ratios and latencies averaged.
+    Replications are independent simulations, so ``processes > 1`` fans
+    them out through the campaign runtime's contained process pool.
     """
-    reports = [run_config(replace(cfg, seed=seed)) for seed in seeds]
+    from repro.experiments.sweeps import run_sweep
+
+    cells = [replace(cfg, seed=seed) for seed in seeds]
+    reports = [report for _, report in run_sweep(cells, processes=processes)]
     return average_reports(reports, label)
 
 

@@ -2,18 +2,22 @@
 
 Experiment campaigns are embarrassingly parallel: every
 (:class:`SimulationConfig`, seed) cell is an independent simulation.
-:func:`run_sweep` fans cells out over a process pool — simulations are
-pure Python and CPU-bound, so processes (not threads) are the right
-tool — and reassembles results in submission order.
+:func:`run_sweep` fans cells out through the campaign orchestrator's
+pluggable runtimes (:mod:`repro.experiments.orchestrator`) — an
+in-process runner for serial runs, a contained process pool otherwise —
+and reassembles results in submission order.
 
 Design notes (per the HPC guides):
 
 * work units are *whole simulations*, coarse enough that IPC cost
-  (pickling one frozen config in, one report out) is negligible;
+  (one frozen config in, one report out) is negligible;
 * the worker is a module-level function so it pickles under the
   default ``spawn`` start method;
 * determinism is preserved: results are keyed by cell, not by
-  completion order, so a parallel sweep equals the serial one.
+  completion order, so a parallel sweep equals the serial one;
+* pass ``artifact_dir`` to keep the orchestrator's journal and
+  per-cell artifacts (resumable, digest-verified); by default they
+  land in a throwaway directory.
 
 Example
 -------
@@ -30,7 +34,7 @@ Example
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
+import tempfile
 from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -69,19 +73,59 @@ def sweep_grid(base: SimulationConfig, **axes: Sequence) -> List[SimulationConfi
 def run_sweep(
     configs: Sequence[SimulationConfig],
     processes: Optional[int] = None,
+    runner=None,
+    artifact_dir=None,
 ) -> List[SweepResult]:
     """Run every configuration; return (config, report) pairs in order.
 
-    ``processes=None`` uses the executor default (CPU count);
-    ``processes=0`` or ``1`` runs serially in-process (useful under
-    debuggers and for deterministic profiling).
+    ``processes=None`` uses the pool default (CPU count); ``0`` or
+    ``1`` runs serially in-process (useful under debuggers and for
+    deterministic profiling).  ``runner`` overrides the choice with any
+    :class:`~repro.experiments.orchestrator.Runtime`; ``artifact_dir``
+    keeps the orchestrator journal + per-cell artifact tree (the sweep
+    becomes resumable: re-running with the same directory digest-
+    verifies and reuses completed cells).
     """
+    from repro.experiments.orchestrator import (
+        InProcessRunner,
+        PoolRunner,
+        RunGraph,
+        execute_graph,
+    )
+
     configs = list(configs)
-    if processes is not None and processes <= 1:
-        return [(cfg, _run_cell(cfg)) for cfg in configs]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        reports = list(pool.map(_run_cell, configs))
-    return list(zip(configs, reports))
+    if not configs:
+        return []
+    if runner is None:
+        runner = (
+            InProcessRunner()
+            if processes is not None and processes <= 1
+            else PoolRunner(processes=processes)
+        )
+    graph = RunGraph()
+    job_ids = []
+    for index, cfg in enumerate(configs):
+        job_id = f"cell-{index:04d}"
+        graph.add(job_id, cfg)
+        job_ids.append(job_id)
+
+    def _execute(root) -> List[SweepResult]:
+        summary = execute_graph(graph, runner, root, name="sweep")
+        if summary.errors:
+            failures = "; ".join(
+                f"{job}: {error.splitlines()[0]}"
+                for job, error in sorted(summary.errors.items())
+            )
+            raise RuntimeError(f"sweep failed — {failures}")
+        return [
+            (cfg, summary.reports[job_id])
+            for cfg, job_id in zip(configs, job_ids)
+        ]
+
+    if artifact_dir is not None:
+        return _execute(artifact_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+        return _execute(tmp)
 
 
 def fault_sweep(

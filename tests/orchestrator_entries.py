@@ -1,0 +1,94 @@
+"""Module-level job entry points for the orchestrator test suites.
+
+Pool workers import entries by dotted path
+(``"tests.orchestrator_entries:raising_entry"``), so everything here
+must be a module-level function with the standard entry signature
+``fn(config, artifact_dir) -> RunReport``.
+
+The hostile entries model the three worker failure classes the
+:class:`PoolRunner` must contain — an exception, a SIGKILLed process,
+and a hung job — plus "flaky" variants that fail on the first attempt
+and succeed on the second, using a marker file in the job's artifact
+directory as the cross-attempt memory (the directory outlives a failed
+attempt; only ``result.json`` marks success).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.analysis.metrics import RunReport
+from repro.config import SimulationConfig
+
+
+def tiny_report(cfg: SimulationConfig, artifact_dir) -> RunReport:
+    """A well-behaved entry: a deterministic synthetic report.
+
+    Deliberately cheap — no simulation — so pool mechanics tests are
+    fast; the digest still depends on the config's seed.
+    """
+    return RunReport(
+        config_label="",
+        duration=cfg.duration,
+        requests_issued=10 + cfg.seed,
+        requests_served=10 + cfg.seed,
+        requests_failed=0,
+        updates_issued=0,
+        average_latency=0.5,
+        byte_hit_ratio=0.5,
+        false_hit_ratio=0.0,
+        consistency_messages=0.0,
+        total_messages=100.0,
+        energy_total_uj=1000.0,
+        served_by_class={"home": 10 + cfg.seed},
+    )
+
+
+def raising_entry(cfg: SimulationConfig, artifact_dir) -> RunReport:
+    """Failure class 1: the job raises."""
+    raise RuntimeError("intentional job failure (orchestrator test)")
+
+
+def sigkill_entry(cfg: SimulationConfig, artifact_dir) -> RunReport:
+    """Failure class 2: the worker process dies without reporting."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def sleeping_entry(cfg: SimulationConfig, artifact_dir) -> RunReport:
+    """Failure class 3: the job hangs past any sane per-job timeout."""
+    time.sleep(60.0)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _second_attempt(artifact_dir) -> bool:
+    """Marker-file memory: False on the first call, True afterwards."""
+    marker = Path(artifact_dir) / "attempted.marker"
+    if marker.exists():
+        return True
+    marker.write_text("1")
+    return False
+
+
+def flaky_raising_entry(cfg: SimulationConfig, artifact_dir) -> RunReport:
+    """Raises on the first attempt, succeeds on retry."""
+    if not _second_attempt(artifact_dir):
+        raise RuntimeError("flaky: first attempt fails")
+    return tiny_report(cfg, artifact_dir)
+
+
+def flaky_sigkill_entry(cfg: SimulationConfig, artifact_dir) -> RunReport:
+    """SIGKILLs its worker on the first attempt, succeeds on retry."""
+    if not _second_attempt(artifact_dir):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return tiny_report(cfg, artifact_dir)
+
+
+def flaky_sleeping_entry(cfg: SimulationConfig, artifact_dir) -> RunReport:
+    """Hangs on the first attempt, succeeds on retry."""
+    if not _second_attempt(artifact_dir):
+        time.sleep(60.0)
+    return tiny_report(cfg, artifact_dir)

@@ -1,0 +1,455 @@
+"""Tests for the campaign orchestrator (repro.experiments.orchestrator).
+
+Covers the serializable job specs, the run-graph, the journal, atomic
+artifact commits + digest verification, in-process execution with
+resume/reuse, the remote-stub contract, the per-cell persistence fix in
+``Campaign.run``, and the ``repro campaign`` CLI.
+"""
+
+from dataclasses import replace
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import SimulationConfig
+from repro.experiments.campaign import Campaign
+from repro.experiments.orchestrator import (
+    InProcessRunner,
+    JobSpec,
+    RemoteStubRunner,
+    RunGraph,
+    commit_artifact,
+    config_from_dict,
+    config_to_dict,
+    execute_graph,
+    execute_job,
+    job_dir,
+    replay_journal,
+    slugify,
+    spec_digest,
+    verify_artifact,
+)
+from repro.experiments.orchestrator.journal import Journal
+from repro.experiments.report_io import reports_from_json
+from repro.faults.plan import FaultPlan
+
+#: A real but seconds-long simulation (used where the report matters).
+MINI = SimulationConfig(
+    n_nodes=10,
+    width=400.0,
+    height=400.0,
+    n_regions=4,
+    duration=30.0,
+    warmup=5.0,
+    n_items=20,
+    t_request=5.0,
+    consistency="none",
+)
+
+#: A synthetic instant entry (used where only mechanics matter).
+TINY = "tests.orchestrator_entries:tiny_report"
+
+
+def tiny_graph(n=3, **kwargs):
+    graph = RunGraph()
+    for i in range(n):
+        graph.add(f"job-{i}", replace(MINI, seed=i + 1), entry=TINY, **kwargs)
+    return graph
+
+
+class TestSpec:
+    def test_config_round_trip(self):
+        cfg = replace(
+            MINI,
+            fault_plan=FaultPlan.parse(["drop:p=0.1,start=5"]),
+            enable_telemetry=True,
+            anomaly_rules=("mac.backlog_max_s>5",),
+        )
+        again = config_from_dict(json.loads(json.dumps(config_to_dict(cfg))))
+        assert again == cfg
+
+    def test_config_unknown_field_rejected(self):
+        data = config_to_dict(MINI)
+        data["warp_drive"] = True
+        with pytest.raises(ValueError, match="warp_drive"):
+            config_from_dict(data)
+
+    def test_spec_round_trip(self):
+        spec = JobSpec("a-1", MINI, after=("b",), timeout=5.0)
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert spec_digest(again) == spec_digest(spec)
+
+    def test_invalid_ids_and_entries(self):
+        with pytest.raises(ValueError):
+            JobSpec("has space", MINI)
+        with pytest.raises(ValueError):
+            JobSpec("-leading", MINI)
+        with pytest.raises(ValueError):
+            JobSpec("ok", MINI, entry="no.colon.here")
+        with pytest.raises(ValueError):
+            JobSpec("ok", MINI, timeout=0.0)
+
+    def test_digest_covers_config_and_entry_only(self):
+        spec = JobSpec("j", MINI)
+        assert spec_digest(spec) == spec_digest(JobSpec("j", MINI))
+        # Scheduling knobs don't affect the result identity...
+        assert spec_digest(spec) == spec_digest(
+            JobSpec("j", MINI, after=("x",), timeout=9.0)
+        )
+        # ...but the config and entry do.
+        assert spec_digest(spec) != spec_digest(
+            JobSpec("j", replace(MINI, seed=99))
+        )
+        assert spec_digest(spec) != spec_digest(JobSpec("j", MINI, entry=TINY))
+
+    def test_slugify(self):
+        assert slugify("gd-ld@0.005") == "gd-ld-0.005"
+        assert slugify("  ") == "job"
+
+
+class TestRunGraph:
+    def test_grid_names_and_size(self):
+        graph = RunGraph.grid(
+            MINI, replacement_policy=["gd-ld", "gd-size"], seed=[1, 2]
+        )
+        assert len(graph) == 4
+        assert "gd-ld_s1" in graph
+        assert graph["gd-size_s2"].config.seed == 2
+        assert graph["gd-size_s2"].config.replacement_policy == "gd-size"
+
+    def test_duplicate_id_rejected(self):
+        graph = tiny_graph(1)
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add("job-0", MINI)
+
+    def test_unknown_dependency_rejected(self):
+        graph = RunGraph()
+        graph.add("a", MINI, after=("ghost",))
+        with pytest.raises(ValueError, match="unknown job"):
+            graph.validate()
+
+    def test_cycle_rejected(self):
+        graph = RunGraph()
+        graph.add("a", MINI, after=("b",))
+        graph.add("b", MINI, after=("a",))
+        with pytest.raises(ValueError, match="cycle"):
+            graph.validate()
+
+    def test_toposort_waves(self):
+        graph = RunGraph()
+        graph.add("a", MINI)
+        graph.add("b", MINI, after=("a",))
+        graph.add("c", MINI, after=("a",))
+        graph.add("d", MINI, after=("b", "c"))
+        assert graph.toposort() == [["a"], ["b", "c"], ["d"]]
+
+    def test_round_trip(self):
+        graph = tiny_graph(2)
+        again = RunGraph.from_dict(json.loads(json.dumps(graph.to_dict())))
+        assert again.job_ids == graph.job_ids
+        assert [spec_digest(s) for s in again] == [
+            spec_digest(s) for s in graph
+        ]
+
+
+class TestJournal:
+    def test_replay_counts_and_state(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.begin("t", 2)
+            journal.start("a")
+            journal.done("a", "digest-a", 0.1)
+            journal.start("b")
+            journal.fail("b", "failed", "boom")
+            journal.start("b")
+            journal.done("b", "digest-b", 0.2)
+            journal.end(done=2, failed=0, reused=0, interrupted=False)
+        state = replay_journal(path)
+        assert state.job_state == {"a": "done", "b": "done"}
+        assert state.event_count("start") == 3
+        assert state.event_count("start", "b") == 2
+        assert state.report_digests == {"a": "digest-a", "b": "digest-b"}
+        assert state.ended
+        assert state.torn_lines == 0
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.start("a")
+        with open(path, "a") as fh:
+            fh.write('{"event": "done", "job": "a", "repo')  # mid-write kill
+        state = replay_journal(path)
+        assert state.torn_lines == 1
+        assert state.job_state == {"a": "start"}
+        assert not state.ended
+
+    def test_missing_journal_is_fresh(self, tmp_path):
+        state = replay_journal(tmp_path / "absent.jsonl")
+        assert state.records == []
+        assert not state.ended
+
+
+class TestArtifacts:
+    def run_one(self, tmp_path):
+        spec = JobSpec("cell", replace(MINI, seed=3), entry=TINY)
+        result = execute_job(spec, tmp_path)
+        assert result.status == "done"
+        return spec, result
+
+    def test_commit_then_verify_ok(self, tmp_path):
+        spec, result = self.run_one(tmp_path)
+        check = verify_artifact(tmp_path, spec)
+        assert check.ok
+        assert check.report_digest == result.report_digest
+        assert check.report.requests_issued == result.report.requests_issued
+
+    def test_missing_artifact(self, tmp_path):
+        check = verify_artifact(tmp_path, JobSpec("ghost", MINI))
+        assert check.status == "missing"
+        assert not check.completed
+
+    def test_tampered_report_detected(self, tmp_path):
+        spec, _ = self.run_one(tmp_path)
+        report_path = job_dir(tmp_path, "cell") / "report.json"
+        data = json.loads(report_path.read_text())
+        data[0]["requests_served"] += 1
+        report_path.write_text(json.dumps(data))
+        check = verify_artifact(tmp_path, spec)
+        assert check.status == "corrupt-report"
+        assert check.completed and not check.ok
+
+    def test_changed_spec_detected(self, tmp_path):
+        self.run_one(tmp_path)
+        changed = JobSpec("cell", replace(MINI, seed=999), entry=TINY)
+        check = verify_artifact(tmp_path, changed)
+        assert check.status == "stale-spec"
+
+    def test_incomplete_result_detected(self, tmp_path):
+        spec, _ = self.run_one(tmp_path)
+        result_path = job_dir(tmp_path, "cell") / "result.json"
+        record = json.loads(result_path.read_text())
+        record["status"] = "running"
+        result_path.write_text(json.dumps(record))
+        assert verify_artifact(tmp_path, spec).status == "incomplete"
+
+
+class TestExecuteGraph:
+    def test_full_run(self, tmp_path):
+        graph = tiny_graph(3)
+        summary = execute_graph(graph, InProcessRunner(), tmp_path)
+        assert summary.ok
+        assert summary.n_done == 3
+        assert sorted(summary.reports) == ["job-0", "job-1", "job-2"]
+        state = replay_journal(tmp_path / "journal.jsonl")
+        assert state.event_count("start") == 3
+        assert state.ended
+
+    def test_resume_reuses_everything(self, tmp_path):
+        graph = tiny_graph(3)
+        first = execute_graph(graph, InProcessRunner(), tmp_path)
+        second = execute_graph(graph, InProcessRunner(), tmp_path)
+        assert second.n_reused == 3 and second.n_done == 0
+        assert second.report_digests == first.report_digests
+        # No job ever started twice across both passes.
+        state = replay_journal(tmp_path / "journal.jsonl")
+        assert state.event_count("start") == 3
+
+    def test_max_jobs_interrupts(self, tmp_path):
+        graph = tiny_graph(4)
+        summary = execute_graph(
+            graph, InProcessRunner(), tmp_path, max_jobs=2
+        )
+        assert summary.interrupted
+        assert summary.n_done == 2 and summary.n_pending == 2
+        state = replay_journal(tmp_path / "journal.jsonl")
+        assert state.records[-1] == {
+            **state.records[-1], "event": "end", "interrupted": True,
+        }
+        resumed = execute_graph(graph, InProcessRunner(), tmp_path)
+        assert not resumed.interrupted and resumed.ok
+        assert resumed.n_reused == 2 and resumed.n_done == 2
+
+    def test_tamper_reruns_exactly_that_job(self, tmp_path):
+        """Satellite 4: digest verification re-runs the tampered job."""
+        graph = tiny_graph(3)
+        first = execute_graph(graph, InProcessRunner(), tmp_path)
+        report_path = job_dir(tmp_path, "job-1") / "report.json"
+        data = json.loads(report_path.read_text())
+        data[0]["requests_served"] += 7
+        report_path.write_text(json.dumps(data))
+
+        second = execute_graph(graph, InProcessRunner(), tmp_path)
+        assert second.statuses == {
+            "job-0": "reused", "job-1": "done", "job-2": "reused",
+        }
+        assert second.report_digests == first.report_digests
+        state = replay_journal(tmp_path / "journal.jsonl")
+        assert state.event_count("start", "job-1") == 2
+        assert state.event_count("start", "job-0") == 1
+        assert state.event_count("start", "job-2") == 1
+        assert state.event_count("stale", "job-1") == 1
+
+    def test_failed_dependency_blocks_dependents(self, tmp_path):
+        graph = RunGraph()
+        graph.add("bad", MINI, entry="tests.orchestrator_entries:raising_entry")
+        graph.add("child", MINI, entry=TINY, after=("bad",))
+        summary = execute_graph(graph, InProcessRunner(), tmp_path)
+        assert summary.statuses == {"bad": "failed", "child": "blocked"}
+        assert "intentional job failure" in summary.errors["bad"]
+        assert not summary.ok
+
+    def test_dependency_order_respected(self, tmp_path):
+        graph = RunGraph()
+        graph.add("parent", MINI, entry=TINY)
+        graph.add("child", MINI, entry=TINY, after=("parent",))
+        order = []
+        execute_graph(
+            graph, InProcessRunner(), tmp_path,
+            on_result=lambda r: order.append(r.job_id),
+        )
+        assert order == ["parent", "child"]
+
+
+class TestRemoteStub:
+    def test_queue_contract_round_trips(self, tmp_path):
+        graph = tiny_graph(2)
+        queue_dir = tmp_path / "queue"
+        summary = execute_graph(
+            graph, RemoteStubRunner(queue_dir), tmp_path
+        )
+        assert summary.count("deferred") == 2
+        payload = json.loads((queue_dir / "job-0.json").read_text())
+        assert payload["schema"] == "repro.orchestrator.remote-job/v1"
+
+        # A "remote agent": rebuild the spec from the queue file, run
+        # it, write the artifact — then a local resume verifies+reuses.
+        for path in sorted(queue_dir.glob("*.json")):
+            payload = json.loads(path.read_text())
+            spec = JobSpec.from_dict(payload["job"])
+            result = execute_job(spec, payload["artifact_root"])
+            assert result.status == "done"
+        resumed = execute_graph(graph, InProcessRunner(), tmp_path)
+        assert resumed.ok and resumed.n_reused == 2
+
+
+class TestCampaignPersistence:
+    """Satellite 1: cells persist as they complete, not per batch."""
+
+    def build(self, tmp_path, seeds=(1, 2, 3)):
+        campaign = Campaign("persist-test", store_dir=str(tmp_path))
+        for seed in seeds:
+            campaign.add(f"seed-{seed}", replace(MINI, seed=seed))
+        return campaign
+
+    def test_interrupted_run_keeps_completed_cells(self, tmp_path):
+        campaign = self.build(tmp_path)
+        campaign.run(max_cells=2)
+        # The store on disk — not just memory — already holds both
+        # completed cells even though the campaign was cut short.
+        stored = reports_from_json(tmp_path / "persist-test.json")
+        assert len(stored) == 2
+
+        fresh = self.build(tmp_path)  # a brand-new instance, same store
+        assert len(fresh.pending) == 1
+        reports = fresh.run()
+        assert [r.config_label for r in reports] == [
+            "seed-1", "seed-2", "seed-3",
+        ]
+
+    def test_interrupt_then_resume_matches_straight_run(self, tmp_path):
+        interrupted = self.build(tmp_path / "a")
+        interrupted.run(max_cells=1)
+        resumed = self.build(tmp_path / "a")
+        reports_a = resumed.run()
+
+        straight = self.build(tmp_path / "b")
+        reports_b = straight.run()
+        assert [
+            (r.config_label, r.requests_issued, r.average_latency)
+            for r in reports_a
+        ] == [
+            (r.config_label, r.requests_issued, r.average_latency)
+            for r in reports_b
+        ]
+
+    def test_campaign_artifacts_reused_on_resume(self, tmp_path):
+        campaign = self.build(tmp_path, seeds=(1, 2))
+        campaign.run(max_cells=1)
+        # Drop the store but keep the artifacts: the resumed campaign
+        # digest-verifies the finished cell instead of re-running it.
+        (tmp_path / "persist-test.json").unlink()
+        fresh = self.build(tmp_path, seeds=(1, 2))
+        assert len(fresh.pending) == 2
+        reports = fresh.run()
+        assert len(reports) == 2
+        state = replay_journal(
+            tmp_path / "persist-test.campaign" / "journal.jsonl"
+        )
+        assert state.event_count("start") == 2  # never a third execution
+
+
+class TestCampaignCli:
+    def run_cli(self, *argv):
+        return main(list(argv))
+
+    def test_run_status_resume_verify_cycle(self, tmp_path, capsys):
+        root = str(tmp_path / "camp")
+        code = self.run_cli(
+            "campaign", "run", root, "--seeds", "1",
+            "--runner", "inprocess", "--max-jobs", "2",
+        )
+        assert code == 3  # interrupted: jobs remain
+
+        assert self.run_cli("campaign", "status", root) == 0
+        out = capsys.readouterr().out
+        assert "2/4 job(s) verified complete" in out
+
+        assert self.run_cli(
+            "campaign", "resume", root, "--runner", "inprocess"
+        ) == 0
+        assert self.run_cli("campaign", "verify", root, "--strict") == 0
+        out = capsys.readouterr().out
+        assert "4/4" in out
+
+    def test_verify_flags_tampered_artifact(self, tmp_path, capsys):
+        root = tmp_path / "camp"
+        assert self.run_cli(
+            "campaign", "run", str(root), "--seeds", "1",
+            "--runner", "inprocess",
+        ) == 0
+        [report_path] = list(root.glob("jobs/0.02_gd-ld_s1/report.json"))
+        data = json.loads(report_path.read_text())
+        data[0]["requests_served"] += 1
+        report_path.write_text(json.dumps(data))
+
+        assert self.run_cli("campaign", "verify", str(root)) == 1
+        err = capsys.readouterr().err
+        assert "corrupt-report" in err
+
+        # Resume re-runs exactly the tampered job, then verify is clean.
+        assert self.run_cli(
+            "campaign", "resume", str(root), "--runner", "inprocess"
+        ) == 0
+        assert self.run_cli("campaign", "verify", str(root), "--strict") == 0
+        state = replay_journal(root / "journal.jsonl")
+        assert state.event_count("start", "0.02_gd-ld_s1") == 2
+        assert state.event_count("start") == 5
+
+    def test_run_refuses_mismatched_definition(self, tmp_path, capsys):
+        root = str(tmp_path / "camp")
+        assert self.run_cli(
+            "campaign", "run", root, "--seeds", "1", "--runner", "inprocess",
+        ) == 0
+        assert self.run_cli(
+            "campaign", "run", root, "--preset", "consistency",
+            "--seeds", "1",
+        ) == 2
+        assert "already holds campaign" in capsys.readouterr().err
+
+    def test_subcommands_need_a_campaign(self, tmp_path, capsys):
+        for sub in ("status", "verify", "resume"):
+            assert self.run_cli("campaign", sub, str(tmp_path)) == 2
+        assert "no campaign.json" in capsys.readouterr().err
