@@ -26,26 +26,52 @@ Package layout
   figure in the paper's evaluation.
 """
 
-from repro.analysis import RequestMetrics, RunReport, TheoreticalModel
-from repro.config import SimulationConfig
-from repro.core import (
-    GDLDPolicy,
-    GDSizePolicy,
-    GeographicHash,
-    LRUPolicy,
-    PeerCache,
-    PlainPush,
-    PReCinCtNetwork,
-    PullEveryTime,
-    PushAdaptivePull,
-    Region,
-    RegionTable,
-)
-from repro.energy import EnergyLedger, EnergyParams
-from repro.faults import FaultPlan, FaultSpec
-from repro.sim import RngRegistry, Simulator, StatRegistry
+from typing import List
 
 __version__ = "1.0.0"
+
+#: Re-exported name -> providing submodule.  Resolution is lazy
+#: (PEP 562) so `import repro` — and hence `import repro.core` /
+#: `import repro.resilience` — never drags in the simulation kernel or
+#: the radio stack; the policy core stays importable in runtimes
+#: without them (tests/test_import_isolation.py pins this).
+_EXPORTS = {
+    "EnergyLedger": "repro.energy",
+    "EnergyParams": "repro.energy",
+    "FaultPlan": "repro.faults",
+    "FaultSpec": "repro.faults",
+    "GDLDPolicy": "repro.core",
+    "GDSizePolicy": "repro.core",
+    "GeographicHash": "repro.core",
+    "LRUPolicy": "repro.core",
+    "PReCinCtNetwork": "repro.core",
+    "PeerCache": "repro.core",
+    "PlainPush": "repro.core",
+    "PullEveryTime": "repro.core",
+    "PushAdaptivePull": "repro.core",
+    "Region": "repro.core",
+    "RegionTable": "repro.core",
+    "RequestMetrics": "repro.analysis",
+    "RngRegistry": "repro.sim",
+    "RunReport": "repro.analysis",
+    "SimulationConfig": "repro.config",
+    "Simulator": "repro.sim",
+    "StatRegistry": "repro.sim",
+    "TheoreticalModel": "repro.analysis",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "EnergyLedger",

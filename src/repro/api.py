@@ -30,10 +30,28 @@ The facade re-exports (it defines nothing of its own):
 ``reconcile_energy``
     Simulated vs. closed-form (eqs. 11, 12-13) per-request energy with
     a tolerance verdict (:mod:`repro.analysis.energy_reconcile`).
+``Clock`` / ``RngStream`` / ``StatSink`` / ``PeerDirectory`` /
+``ConsistencyTransport``
+    The runtime-agnostic ports the cache core depends on
+    (:mod:`repro.ports`) — implement these to host the policy layer in
+    a new runtime.
+``CacheService``
+    One region shard of the edge-cache tier: the simulation's GD-LD /
+    TTR / resilience machinery behind an async get/put API
+    (:mod:`repro.service.core`).
+``EdgeCacheServer`` / ``ServiceConfig``
+    The asyncio JSON-lines TCP runtime hosting N geohash-routed
+    shards — the ``repro serve`` entry point
+    (:mod:`repro.service.server`).
+``run_loadgen`` / ``LoadGenConfig``
+    The closed-loop Zipf load generator — the ``repro loadgen`` entry
+    point (:mod:`repro.service.loadgen`).
 
 Import paths deeper than :mod:`repro.api` (and the :mod:`repro`
 package root re-exports) are internal and may move between releases;
-this module's names are the compatibility surface.
+this module's names are the compatibility surface.  The README's
+"Public API" table documents exactly this set; a test pins the two
+lists against each other.
 """
 
 from __future__ import annotations
@@ -44,13 +62,37 @@ from repro.config import SimulationConfig
 from repro.core.network import PReCinCtNetwork
 from repro.faults.audit import audit_scenario, run_scenario
 from repro.obs.observers import Observers
+from repro.ports import (
+    Clock,
+    ConsistencyTransport,
+    PeerDirectory,
+    RngStream,
+    StatSink,
+)
+from repro.service import (
+    CacheService,
+    EdgeCacheServer,
+    LoadGenConfig,
+    ServiceConfig,
+    run_loadgen,
+)
 
 __all__ = [
+    "CacheService",
+    "Clock",
+    "ConsistencyTransport",
+    "EdgeCacheServer",
+    "LoadGenConfig",
     "Observers",
     "PReCinCtNetwork",
+    "PeerDirectory",
+    "RngStream",
     "RunReport",
+    "ServiceConfig",
     "SimulationConfig",
+    "StatSink",
     "audit_scenario",
     "reconcile_energy",
+    "run_loadgen",
     "run_scenario",
 ]

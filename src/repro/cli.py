@@ -17,6 +17,8 @@ any Python::
     python -m repro run --anomaly 'mac.backlog_max_s>5' --bundle-dir bundles/
     python -m repro run --watch --live-export live.jsonl
     python -m repro watch live.jsonl --follow
+    python -m repro serve --shards 4 --port 7117 --metrics-snapshot metrics.prom
+    python -m repro loadgen --port 7117 --clients 8 --duration 10
 
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it can
 do is equally available through the library API.
@@ -321,6 +323,82 @@ def build_parser() -> argparse.ArgumentParser:
                               "seconds without a new record")
     watch_p.add_argument("--no-color", action="store_true",
                          help="plain one-line-summary mode (no ANSI)")
+
+    srv_p = sub.add_parser(
+        "serve",
+        help="run the asyncio edge-cache service: the simulation's "
+             "cache core (GD-LD, TTR consistency, breakers) behind a "
+             "JSON-lines TCP API over geohash-routed region shards",
+    )
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=7117,
+                       help="TCP port (0 = pick a free port)")
+    srv_p.add_argument("--shards", type=int, default=4,
+                       help="number of region shards (default 4)")
+    srv_p.add_argument("--items", type=int, default=500,
+                       help="origin database size (default 500)")
+    srv_p.add_argument("--cache", type=float, default=0.05,
+                       help="per-shard cache capacity as a fraction of "
+                            "total database bytes (default 0.05)")
+    srv_p.add_argument(
+        "--consistency",
+        choices=["plain-push", "pull-every-time", "push-adaptive-pull"],
+        default="push-adaptive-pull",
+    )
+    srv_p.add_argument("--origin-latency", type=float, default=0.0,
+                       metavar="S",
+                       help="simulated origin round-trip seconds "
+                            "(default 0)")
+    srv_p.add_argument("--deadline", type=float, default=1.0, metavar="S",
+                       help="per-request latency budget in seconds; "
+                            "0 disables deadlines (default 1.0)")
+    srv_p.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="auto-shutdown after S wall seconds "
+                            "(default: run until SIGTERM)")
+    srv_p.add_argument("--seed", type=int, default=1)
+    srv_p.add_argument("--telemetry-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="seconds between telemetry samples "
+                            "(default 1.0)")
+    srv_p.add_argument("--live-export", default=None, metavar="PATH",
+                       help="stream telemetry samples to PATH as JSONL "
+                            "('repro watch PATH --follow' tails it)")
+    srv_p.add_argument("--metrics-snapshot", default=None, metavar="PATH",
+                       help="keep PATH updated with a Prometheus-style "
+                            "snapshot of the latest telemetry row")
+    srv_p.add_argument("--watch", action="store_true",
+                       help="live terminal dashboard on stderr")
+    srv_p.add_argument("--no-color", action="store_true",
+                       help="plain one-line dashboard output (no ANSI)")
+
+    lg_p = sub.add_parser(
+        "loadgen",
+        help="closed-loop Zipf load generator against a running "
+             "'repro serve' instance",
+    )
+    lg_p.add_argument("--host", default="127.0.0.1")
+    lg_p.add_argument("--port", type=int, default=7117)
+    lg_p.add_argument("--clients", type=int, default=4,
+                      help="concurrent closed-loop clients (default 4)")
+    lg_p.add_argument("--duration", type=float, default=5.0, metavar="S",
+                      help="wall seconds to run (default 5)")
+    lg_p.add_argument("--theta", type=float, default=0.8,
+                      help="Zipf skew of key popularity (default 0.8)")
+    lg_p.add_argument("--items", type=int, default=500,
+                      help="keyspace size; must not exceed the server's "
+                           "--items (default 500)")
+    lg_p.add_argument("--put-ratio", type=float, default=0.0,
+                      help="fraction of operations that are puts "
+                           "(default 0 = read-only)")
+    lg_p.add_argument("--timeout", type=float, default=5.0, metavar="S",
+                      help="client-side per-request timeout (default 5)")
+    lg_p.add_argument("--seed", type=int, default=1)
+    lg_p.add_argument("--expect-hit-ratio", type=float, default=None,
+                      metavar="R",
+                      help="exit 1 unless the observed hit ratio "
+                           "reaches R (CI smoke checks)")
+    lg_p.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the summary as JSON")
 
     camp_p = sub.add_parser(
         "campaign",
@@ -952,6 +1030,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import EdgeCacheServer, ServiceConfig
+
+    try:
+        cfg = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            n_shards=args.shards,
+            n_items=args.items,
+            cache_fraction=args.cache,
+            seed=args.seed,
+            origin_latency=args.origin_latency,
+            consistency=args.consistency,
+            deadline=args.deadline if args.deadline > 0 else None,
+            telemetry_interval=args.telemetry_interval,
+            live_export=args.live_export,
+            metrics_snapshot=args.metrics_snapshot,
+            watch=args.watch,
+            dashboard_mode="plain" if args.no_color else "auto",
+            duration=args.duration,
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return EdgeCacheServer(cfg).run()
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import LoadGenConfig, run_loadgen
+
+    try:
+        cfg = LoadGenConfig(
+            host=args.host,
+            port=args.port,
+            clients=args.clients,
+            duration=args.duration,
+            theta=args.theta,
+            n_items=args.items,
+            seed=args.seed,
+            put_ratio=args.put_ratio,
+            timeout=args.timeout,
+            expect_hit_ratio=args.expect_hit_ratio,
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        summary = asyncio.run(run_loadgen(cfg))
+    except OSError as exc:
+        print(f"error: cannot reach {cfg.host}:{cfg.port} — {exc}",
+              file=sys.stderr)
+        return 2
+    print(summary.render())
+    if args.json is not None:
+        import json
+
+        from repro.obs.export import export_path
+
+        path = export_path(args.json)
+        path.write_text(
+            json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote summary to {args.json}")
+    if cfg.expect_hit_ratio is not None:
+        if summary.hit_ratio < cfg.expect_hit_ratio:
+            print(
+                f"FAIL: hit ratio {summary.hit_ratio:.4f} below expected "
+                f"{cfg.expect_hit_ratio:.4f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"hit ratio {summary.hit_ratio:.4f} >= "
+              f"{cfg.expect_hit_ratio:.4f} (OK)")
+    return 0
+
+
 def _campaign_runner(args: argparse.Namespace, root):
     """Build the Runtime the campaign flags describe."""
     from repro.experiments.orchestrator import (
@@ -1128,6 +1285,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     return 2  # pragma: no cover - argparse enforces choices

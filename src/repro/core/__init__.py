@@ -29,7 +29,6 @@ from repro.core.consistency import (
     PushAdaptivePull,
 )
 from repro.core.geohash import GeographicHash
-from repro.core.network import PReCinCtNetwork
 from repro.core.regions import Region, RegionTable
 from repro.core.replacement import (
     GDLDPolicy,
@@ -38,6 +37,19 @@ from repro.core.replacement import (
     LRUPolicy,
     ReplacementPolicy,
 )
+
+
+def __getattr__(name: str):
+    # PReCinCtNetwork is the *simulation adapter* around the policy
+    # core; importing it pulls in repro.sim and repro.net.  Resolving
+    # it lazily keeps `import repro.core` runtime-agnostic — the
+    # policy/consistency modules load with no sim or radio packages on
+    # the path (pinned by tests/test_import_isolation.py).
+    if name == "PReCinCtNetwork":
+        from repro.core.network import PReCinCtNetwork
+
+        return PReCinCtNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CachedCopy",

@@ -34,10 +34,10 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.cache import CachedCopy
 from repro.core.messages import Invalidation, UpdatePush
-from repro.workload.database import DataItem
 
-if TYPE_CHECKING:  # pragma: no cover - type-only import
-    from repro.core.network import PReCinCtNetwork
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.ports import ConsistencyTransport
+    from repro.workload.database import DataItem
 
 __all__ = [
     "ConsistencyScheme",
@@ -52,15 +52,22 @@ CONSISTENCY = "consistency"
 
 
 class ConsistencyScheme:
-    """Interface between the peer protocol and a consistency policy."""
+    """Interface between the peer protocol and a consistency policy.
+
+    A scheme is runtime-agnostic: it talks to its host exclusively
+    through the :class:`repro.ports.ConsistencyTransport` protocol
+    (push to custodian regions, flood invalidations), so the same
+    policy objects drive the simulation facade and the asyncio
+    edge-cache service.
+    """
 
     name = "none"
 
     def __init__(self) -> None:
-        self.host: Optional["PReCinCtNetwork"] = None
+        self.host: Optional["ConsistencyTransport"] = None
 
-    def bind(self, host: "PReCinCtNetwork") -> None:
-        """Attach to the simulation facade (grants messaging services)."""
+    def bind(self, host: "ConsistencyTransport") -> None:
+        """Attach to a transport adapter (grants messaging services)."""
         self.host = host
 
     # -- read path ---------------------------------------------------------

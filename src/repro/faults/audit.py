@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -229,19 +228,12 @@ def canonical_scenario_name(name: str) -> str:
     return _ALIASES.get(name, name)
 
 
-#: Sentinel distinguishing "keyword not passed" from a legacy default.
-_DEPRECATED = object()
-
-
 def run_scenario(
     name: str,
     seed: int = 42,
     check_invariants: bool = True,
     observers=None,
     fast_kernel=None,
-    observability=_DEPRECATED,
-    bundle_dir=_DEPRECATED,
-    trace_sample_rate=_DEPRECATED,
 ):
     """Run one audited scenario; return ``(net, report, RunDigest)``.
 
@@ -258,13 +250,6 @@ def run_scenario(
     recorder, energy attribution, and anomaly triggers.  All observers
     are digest-neutral by construction, so any combination must leave
     both digests byte-identical — the test suite verifies exactly that.
-
-    .. deprecated::
-        The ``observability=``, ``bundle_dir=``, and
-        ``trace_sample_rate=`` keywords are deprecated in favor of
-        ``observers=Observers(...)`` and will be removed next release;
-        they still work (emitting :class:`DeprecationWarning`) and map
-        to the equivalent Observers options.
     """
     try:
         factory = SCENARIOS[name]
@@ -273,33 +258,6 @@ def run_scenario(
             f"unknown audit scenario {name!r} (expected one of {sorted(SCENARIOS)})"
         ) from None
     from repro.core.network import PReCinCtNetwork
-    from repro.obs.observers import Observers
-
-    legacy = {
-        "observability": observability,
-        "bundle_dir": bundle_dir,
-        "trace_sample_rate": trace_sample_rate,
-    }
-    used = [k for k, v in legacy.items() if v is not _DEPRECATED]
-    if used:
-        warnings.warn(
-            f"run_scenario keyword(s) {', '.join(sorted(used))} are "
-            f"deprecated; pass observers=repro.obs.Observers(...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if observers is not None:
-            raise TypeError(
-                "pass either observers= or the deprecated keywords, not both"
-            )
-        options: Dict[str, Any] = {}
-        if observability is not _DEPRECATED and observability:
-            options.update(tracing=True, telemetry=True, profiling=True)
-        if trace_sample_rate is not _DEPRECATED and trace_sample_rate is not None:
-            options.update(tracing=True, trace_sample_rate=trace_sample_rate)
-        if bundle_dir is not _DEPRECATED and bundle_dir is not None:
-            options.update(recorder_dir=str(bundle_dir))
-        observers = Observers(**options)
 
     cfg = factory(seed)
     if fast_kernel is not None:

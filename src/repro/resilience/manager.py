@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.ports import CounterStatSink
 from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.breaker import HALF_OPEN, PASS, PROBE, STEER, CircuitBreaker
 from repro.resilience.detector import RegionFailureDetector
@@ -65,11 +66,14 @@ class ResilienceManager:
     cooldown:
         Circuit-breaker open→half-open cool-down in seconds.
     stats:
-        Optional ``StatRegistry``; breaker/probe transitions are counted
-        here under ``resilience.*`` keys.
+        Optional :class:`repro.ports.StatSink` (the sim passes its
+        ``StatRegistry``, the service a ``CounterStatSink``); breaker
+        and probe transitions are counted here under ``resilience.*``
+        keys.  ``None`` allocates a private scratch sink.
     event_hook:
         Optional ``callable(kind, **fields)`` (the network's event-log
-        ``trace``) invoked on breaker transitions.
+        ``trace``, or the service's bus-event publisher) invoked on
+        breaker transitions.
     """
 
     def __init__(
@@ -96,9 +100,7 @@ class ResilienceManager:
         self.detector = RegionFailureDetector(threshold=suspect_after, alpha=alpha)
         self.cooldown = float(cooldown)
         if stats is None:
-            from repro.sim import StatRegistry
-
-            stats = StatRegistry()  # private scratch registry (tests)
+            stats = CounterStatSink()  # private scratch sink (tests)
         self._stats = stats
         self._event = event_hook
         self._breakers: Dict[int, CircuitBreaker] = {}

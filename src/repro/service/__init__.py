@@ -1,0 +1,44 @@
+"""An asyncio edge-cache service built on the simulation's cache core.
+
+The policy layer — GD-LD admission/replacement, TTR consistency,
+breakers and deadlines — is byte-for-byte the code the discrete-event
+simulation runs (:mod:`repro.core`, :mod:`repro.resilience`), reached
+through the ports of :mod:`repro.ports`.  This package supplies the
+*service* adapter set and the runtime around it:
+
+* :mod:`repro.service.clock` — wall-clock / manual ``Clock`` adapters;
+* :mod:`repro.service.routing` — geographic-hash shard routing
+  (``PeerDirectory`` adapter);
+* :mod:`repro.service.origin` — the authoritative tier, with a stall
+  switch for chaos testing;
+* :mod:`repro.service.core` — :class:`CacheService`, one region shard;
+* :mod:`repro.service.server` — :class:`EdgeCacheServer`, the JSON-
+  lines TCP runtime (``repro serve``);
+* :mod:`repro.service.loadgen` — the closed-loop Zipf load generator
+  (``repro loadgen``).
+
+See ``docs/SERVICE.md`` for the tour.
+"""
+
+from repro.service.clock import ManualClock, WallClock
+from repro.service.core import CacheResponse, CacheService, DeadlineExceeded
+from repro.service.loadgen import LoadGenConfig, LoadSummary, run_loadgen
+from repro.service.origin import InMemoryOrigin
+from repro.service.routing import ShardDirectory
+from repro.service.server import EdgeCacheServer, ServiceConfig, build_scheme
+
+__all__ = [
+    "CacheResponse",
+    "CacheService",
+    "DeadlineExceeded",
+    "EdgeCacheServer",
+    "InMemoryOrigin",
+    "LoadGenConfig",
+    "LoadSummary",
+    "ManualClock",
+    "ServiceConfig",
+    "ShardDirectory",
+    "WallClock",
+    "build_scheme",
+    "run_loadgen",
+]

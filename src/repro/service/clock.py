@@ -1,0 +1,53 @@
+"""Wall-clock adapters for the :class:`repro.ports.Clock` port.
+
+The simulator's virtual clock advances only when events fire; the
+service's clock is the machine's.  Both satisfy the same ``now()``
+protocol, which is the whole point: :class:`~repro.core.cache.PeerCache`
+priorities, TTR freshness windows, breaker cool-downs and deadline
+budgets all read time through the port and cannot tell which runtime
+they are in.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ManualClock", "WallClock"]
+
+
+class WallClock:
+    """Monotonic wall clock, zeroed at construction.
+
+    Starting from 0 keeps service timestamps in the same shape as
+    simulation timestamps (seconds since run start), so telemetry rows
+    published by the service replay through ``repro watch`` exactly
+    like simulation rows.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WallClock(t={self.now():.3f})"
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic service tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"cannot move a clock backwards ({dt})")
+        self._now += dt
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ManualClock(t={self._now:.3f})"

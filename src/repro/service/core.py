@@ -1,0 +1,394 @@
+"""CacheService: one region shard of the edge-cache tier.
+
+Each shard owns a :class:`~repro.core.cache.PeerCache` (GD-LD by
+default) holding dynamically cached copies of the keys the geographic
+hash homes in its region, and talks to the authoritative tier through
+an origin adapter.  The policy logic is exactly the simulation's —
+admission control (§3.2), Greedy-Dual replacement (§3.3), TTR-windowed
+validation (§4, eq. 2), breaker verdicts and deadline budgets
+(:mod:`repro.resilience`) — reached through the runtime-agnostic ports
+of :mod:`repro.ports` with wall-clock adapters plugged in.
+
+Read path (mirrors Fig. 1 + §4):
+
+* **fresh hit** — the copy's TTR window is open: serve locally.
+* **validation** — TTR expired: poll the origin (the home-region poll
+  of Push-with-Adaptive-Pull); matching version restarts the window,
+  a lagging one refetches.
+* **miss** — fetch from the origin, admit under GD-LD (evicting
+  minimum-priority victims), serve.
+* **degraded** — the breaker steers away from a suspected origin path,
+  or the poll/fetch times out: serve the stale copy if one exists
+  (``stale-hit``; served class "degraded") rather than failing the
+  request, else report ``unavailable``/``deadline``.
+
+Concurrent gets for the same missing key coalesce on one origin fetch
+(dog-pile protection); every await is bounded by the request's
+absolute deadline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.cache import CachedCopy, PeerCache
+from repro.core.consistency import ConsistencyScheme, PushAdaptivePull
+from repro.core.messages import Invalidation, UpdatePush
+from repro.core.replacement import ReplacementPolicy
+from repro.ports import Clock, CounterStatSink, PeerDirectory, StatSink
+from repro.resilience.manager import (
+    ROUTE_PROBE,
+    ROUTE_STEER,
+    ResilienceManager,
+)
+from repro.service.origin import InMemoryOrigin
+from repro.workload.database import DataItem
+
+__all__ = ["CacheResponse", "CacheService", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(Exception):
+    """A request's total latency budget ran out mid-flight."""
+
+
+@dataclass
+class CacheResponse:
+    """Outcome of one service operation, wire-serializable."""
+
+    op: str
+    key: int
+    status: str
+    shard: int
+    version: int = -1
+    size_bytes: float = 0.0
+    #: Serve class for stats/telemetry: "local", "origin", "degraded",
+    #: or "failed" — the service analogue of the sim's served_by_class.
+    served_class: str = "failed"
+    #: Extra fields (latency is stamped by the server).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.served_class != "failed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "op": self.op,
+            "key": self.key,
+            "status": self.status,
+            "shard": self.shard,
+            "ok": self.ok,
+            "served_class": self.served_class,
+        }
+        if self.version >= 0:
+            out["version"] = self.version
+        if self.size_bytes:
+            out["size_bytes"] = self.size_bytes
+        out.update(self.extra)
+        return out
+
+
+class CacheService:
+    """One region shard: GD-LD cache + TTR consistency + resilience.
+
+    Parameters
+    ----------
+    shard_id:
+        The region id this shard serves (breaker evidence for origin
+        outcomes is booked under this id).
+    capacity_bytes:
+        Dynamic cache capacity of the shard.
+    clock / directory / origin:
+        Port adapters: time source, key-placement oracle, and the
+        authoritative tier.
+    scheme:
+        Consistency scheme; default Push-with-Adaptive-Pull (TTR).
+        The caller binds it to a transport before puts disseminate.
+    resilience:
+        Shared :class:`ResilienceManager` (deadlines + breakers); None
+        disables both.
+    stats:
+        :class:`~repro.ports.StatSink` for service counters; shards of
+        one server share a sink.
+    policy:
+        Replacement policy override (default: PeerCache's GD-LD).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        capacity_bytes: float,
+        *,
+        clock: Clock,
+        directory: PeerDirectory,
+        origin: InMemoryOrigin,
+        scheme: Optional[ConsistencyScheme] = None,
+        resilience: Optional[ResilienceManager] = None,
+        stats: Optional[StatSink] = None,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        self.shard_id = int(shard_id)
+        self.clock = clock
+        self.directory = directory
+        self.origin = origin
+        self.scheme = scheme if scheme is not None else PushAdaptivePull()
+        self.resilience = resilience
+        self.stats = stats if stats is not None else CounterStatSink()
+        self.cache = PeerCache(capacity_bytes, policy=policy)
+        #: Region-level access counts driving GD-LD's popularity term.
+        self._access_counts: Dict[int, int] = {}
+        #: In-flight origin fetches, coalesced per key.
+        self._inflight: Dict[int, asyncio.Future] = {}
+        self.requests = 0
+
+    # -- read path -----------------------------------------------------------
+
+    async def get(
+        self, key: int, *, probe: bool = False, steered: bool = False
+    ) -> CacheResponse:
+        """Serve one read; never raises on origin trouble (degrades)."""
+        now = self.clock.now()
+        self.requests += 1
+        self.stats.count("service.get")
+        self._access_counts[key] = self._access_counts.get(key, 0) + 1
+        deadline = (
+            self.resilience.deadline_for(now)
+            if self.resilience is not None else None
+        )
+        entry = self.cache.get(key)
+        if entry is not None and not self.scheme.needs_validation(entry, now):
+            return self._serve_local(entry, now, "hit-fresh", steered)
+
+        # The copy is absent or past its TTR window: origin interaction.
+        verdict = None
+        if self.resilience is not None and not probe and not steered:
+            verdict = self.resilience.route_home(self.shard_id, now)
+            if verdict == ROUTE_STEER:
+                return self._serve_degraded(entry, now, reason="breaker-open")
+            probe = verdict == ROUTE_PROBE
+
+        try:
+            if entry is not None:
+                item = await self._bounded(self.origin.validate(key), deadline)
+            else:
+                item = await self._fetch_coalesced(key, deadline)
+        except DeadlineExceeded:
+            now = self.clock.now()
+            self.stats.count("resilience.deadline_exceeded")
+            self._origin_outcome(False, probe, now)
+            if entry is not None:
+                return self._serve_degraded(entry, now, reason="deadline")
+            self.stats.count("cache.deadline_miss")
+            return CacheResponse(
+                "get", key, "deadline", self.shard_id,
+                extra={"reason": "deadline"},
+            )
+        now = self.clock.now()
+        self._origin_outcome(True, probe, now)
+
+        if entry is not None and entry.version >= item.version:
+            # Validation succeeded: restart the TTR window (§4).
+            entry.validated_at = now
+            entry.ttr = item.ttr
+            self.stats.count("cache.validations")
+            return self._serve_local(entry, now, "hit-validated", steered)
+
+        # Miss (or stale copy superseded): admit the authoritative copy.
+        admitted = self._admit(item, now)
+        self.stats.count("cache.miss")
+        self.stats.count("cache.bytes_from_origin", item.size_bytes)
+        status = "miss" if entry is None else "refreshed"
+        return CacheResponse(
+            "get", key, status, self.shard_id,
+            version=item.version, size_bytes=item.size_bytes,
+            served_class="degraded" if steered else "origin",
+            extra={"admitted": admitted},
+        )
+
+    # -- write path ----------------------------------------------------------
+
+    def put(self, key: int, updater: int = -1) -> CacheResponse:
+        """Commit an update at the origin and disseminate (Push phase).
+
+        Synchronous: the origin's authoritative state is in-process;
+        dissemination fans out through the bound transport (the server
+        delivers pushes to the home and replica shards).
+        """
+        now = self.clock.now()
+        self.stats.count("service.put")
+        item = self.origin.commit(key, now)
+        self.scheme.disseminate_update(updater, key)
+        return CacheResponse(
+            "put", key, "updated", self.shard_id,
+            version=item.version, size_bytes=item.size_bytes,
+            served_class="origin",
+        )
+
+    def invalidate(self, key: int) -> CacheResponse:
+        """Evict the local copy (the shard-side half of a purge)."""
+        self.stats.count("service.invalidate")
+        evicted = self.cache.evict(key)
+        return CacheResponse(
+            "invalidate", key, "invalidated" if evicted else "absent",
+            self.shard_id, served_class="local",
+        )
+
+    def purge(self, key: int) -> bool:
+        """Administrative eviction: the flood half of a client purge.
+
+        Unlike :meth:`apply_invalidation` this does not go through the
+        consistency scheme — a purge removes the copy under every
+        scheme, including those whose invalidation hook is a no-op.
+        """
+        return self.cache.evict(key)
+
+    # -- custodian hooks (driven by the server's transport adapter) ----------
+
+    def apply_push(self, item: DataItem, msg: UpdatePush) -> None:
+        """An UpdatePush arrived at this shard (home or replica).
+
+        Only the home custodian folds the update interval into the TTR
+        estimate (eq. 2) — mirroring the peer protocol, which never
+        double-applies at the replica.  Both custodians refresh an
+        existing cached copy; the replica *admits* one when absent
+        (push-based replication, §2.4), which is what gives steered
+        reads something warm to serve.
+        """
+        home = self.directory.home_region(item.key)
+        if home == self.shard_id:
+            self.scheme.on_push_received(item, msg)
+        now = self.clock.now()
+        entry = self.cache.get(item.key)
+        if entry is not None:
+            if entry.version < msg.version:
+                entry.version = msg.version
+                entry.validated_at = now
+                entry.ttr = item.ttr
+            self.stats.count("consistency.push_refreshed")
+        elif PeerCache.should_admit(home, self.shard_id):
+            self._admit(item, now)
+            self.stats.count("consistency.push_admitted")
+
+    def apply_invalidation(self, msg: Invalidation) -> None:
+        """A flooded invalidation notice arrived at this shard."""
+        self.scheme.on_invalidation_received(self.cache, msg)
+        self.stats.count("consistency.invalidation_applied")
+
+    # -- telemetry (pure reader) ---------------------------------------------
+
+    def telemetry(self) -> Dict[str, float]:
+        return {
+            f"cache.region{self.shard_id}.bytes": self.cache.used_bytes,
+            f"cache.region{self.shard_id}.entries": float(len(self.cache)),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _serve_local(
+        self, entry: CachedCopy, now: float, status: str, steered: bool
+    ) -> CacheResponse:
+        entry.access_count = self._access_counts.get(entry.key, 1)
+        self.cache.hit(entry.key, now)
+        self.stats.count("cache.hits")
+        self.stats.count("cache.bytes_hit", entry.size_bytes)
+        return CacheResponse(
+            "get", entry.key, status, self.shard_id,
+            version=entry.version, size_bytes=entry.size_bytes,
+            served_class="degraded" if steered else "local",
+        )
+
+    def _serve_degraded(
+        self, entry: Optional[CachedCopy], now: float, reason: str
+    ) -> CacheResponse:
+        """Breaker-steered or timed-out read: stale copy beats failure."""
+        if entry is None:
+            self.stats.count("cache.unavailable")
+            return CacheResponse(
+                "get", -1 if entry is None else entry.key, "unavailable",
+                self.shard_id, extra={"reason": reason},
+            )
+        entry.access_count = self._access_counts.get(entry.key, 1)
+        self.cache.hit(entry.key, now)
+        self.stats.count("cache.degraded_serves")
+        self.stats.count("cache.bytes_hit", entry.size_bytes)
+        return CacheResponse(
+            "get", entry.key, "stale-hit", self.shard_id,
+            version=entry.version, size_bytes=entry.size_bytes,
+            served_class="degraded", extra={"reason": reason},
+        )
+
+    def _origin_outcome(self, success: bool, probe: bool, now: float) -> None:
+        if self.resilience is None:
+            return
+        if probe:
+            self.resilience.on_probe_result(self.shard_id, success, now)
+        elif success:
+            self.resilience.on_home_success(self.shard_id, now)
+        else:
+            self.resilience.on_home_timeout(self.shard_id, now)
+
+    def _admit(self, item: DataItem, now: float) -> bool:
+        """Admission + replacement for an authoritative copy (§3.2-3.3)."""
+        distance = getattr(self.directory, "key_distance", None)
+        reg_dst = (
+            distance(item.key, self.shard_id) if distance is not None
+            else self.directory.region_distance(
+                self.directory.replica_region(item.key), self.shard_id
+            )
+        )
+        entry = CachedCopy(
+            key=item.key,
+            size_bytes=item.size_bytes,
+            version=item.version,
+            access_count=self._access_counts.get(item.key, 1),
+            region_distance=reg_dst,
+            ttr=item.ttr,
+            validated_at=now,
+            last_access=now,
+        )
+        evicted = self.cache.insert(entry, now)
+        if evicted:
+            self.stats.count("cache.evictions", float(len(evicted)))
+        return item.key in self.cache
+
+    async def _fetch_coalesced(self, key: int, deadline: Optional[float]):
+        """One origin fetch per key, however many waiters pile on."""
+        fut = self._inflight.get(key)
+        if fut is None:
+            fut = asyncio.ensure_future(self.origin.fetch(key))
+            self._inflight[key] = fut
+
+            def _done(f: "asyncio.Future", _key: int = key) -> None:
+                self._inflight.pop(_key, None)
+                if not f.cancelled():
+                    f.exception()  # retrieved: no "never retrieved" noise
+
+            fut.add_done_callback(_done)
+            self.stats.count("cache.origin_fetches")
+        else:
+            self.stats.count("cache.coalesced_fetches")
+        # shield(): one waiter's deadline must not cancel the shared fetch.
+        return await self._bounded(asyncio.shield(fut), deadline)
+
+    async def _bounded(self, awaitable, deadline: Optional[float]):
+        """Await under the request's absolute deadline (fail fast)."""
+        if deadline is None:
+            return await awaitable
+        remaining = deadline - self.clock.now()
+        if remaining <= 0.0:
+            # Cancel eagerly so a pre-spent budget never touches origin.
+            fut = asyncio.ensure_future(awaitable)
+            fut.cancel()
+            raise DeadlineExceeded()
+        try:
+            return await asyncio.wait_for(awaitable, remaining)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded() from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheService(shard={self.shard_id}, {self.cache!r}, "
+            f"requests={self.requests})"
+        )

@@ -1,0 +1,206 @@
+"""Closed-loop load generator for the edge-cache service.
+
+``repro loadgen`` drives a running :class:`EdgeCacheServer` the way the
+simulation's workload layer drives peers: keys drawn from the same
+:class:`~repro.workload.ZipfSampler` popularity model (so the cache
+tier sees the paper's skewed access pattern), a configurable fraction
+of writes, and *closed-loop* clients — each keeps exactly one request
+in flight and issues the next the moment the response lands, so offered
+load adapts to service latency instead of overrunning it.
+
+The summary reports throughput, hit ratio (fresh + validated + degraded
+stale serves over all gets), the status mix, and latency percentiles;
+``--expect-hit-ratio`` turns the run into a pass/fail smoke check (CI
+uses it to assert the closed loop actually exercises the cache).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.service.clock import WallClock
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["LoadGenConfig", "LoadSummary", "run_loadgen"]
+
+#: get statuses that count as a cache hit for the summary's hit ratio.
+_HIT_STATUSES = frozenset({"hit-fresh", "hit-validated", "stale-hit"})
+
+
+@dataclass
+class LoadGenConfig:
+    host: str = "127.0.0.1"
+    port: int = 7117
+    clients: int = 4
+    #: Wall-clock seconds to keep the loop closed.
+    duration: float = 5.0
+    #: Zipf skew of the key popularity (paper evaluates 0.0-1.0).
+    theta: float = 0.8
+    #: Size of the keyspace; must not exceed the server's n_items.
+    n_items: int = 500
+    seed: int = 1
+    #: Fraction of operations that are puts (rest are gets).
+    put_ratio: float = 0.0
+    #: Client-side per-request timeout (seconds).
+    timeout: float = 5.0
+    #: Optional floor the summary's hit ratio must reach (CI smoke).
+    expect_hit_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0:
+            raise ValueError(f"clients must be positive, got {self.clients}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not 0.0 <= self.put_ratio <= 1.0:
+            raise ValueError(
+                f"put_ratio must be in [0, 1], got {self.put_ratio}"
+            )
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+
+@dataclass
+class LoadSummary:
+    """Aggregated outcome of one load-generation run."""
+
+    requests: int = 0
+    gets: int = 0
+    puts: int = 0
+    hits: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    elapsed: float = 0.0
+    by_status: Dict[str, int] = field(default_factory=dict)
+    by_class: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def record(self, response: dict) -> None:
+        self.requests += 1
+        op = response.get("op")
+        status = str(response.get("status", "error"))
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        served = str(response.get("served_class", "failed"))
+        self.by_class[served] = self.by_class.get(served, 0) + 1
+        if op == "get":
+            self.gets += 1
+            if status in _HIT_STATUSES:
+                self.hits += 1
+        elif op == "put":
+            self.puts += 1
+        if not response.get("ok", False):
+            self.errors += 1
+        latency = response.get("latency_ms")
+        if latency is not None:
+            self.latencies.append(float(latency))
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "gets": self.gets,
+            "puts": self.puts,
+            "hits": self.hits,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "elapsed_s": round(self.elapsed, 3),
+            "throughput_rps": round(self.throughput, 1),
+            "latency_ms": {
+                "p50": round(self.latency_percentile(50), 3),
+                "p95": round(self.latency_percentile(95), 3),
+                "p99": round(self.latency_percentile(99), 3),
+            },
+            "by_status": dict(sorted(self.by_status.items())),
+            "by_class": dict(sorted(self.by_class.items())),
+        }
+
+    def render(self) -> str:
+        d = self.to_dict()
+        lines = [
+            f"requests: {d['requests']} in {d['elapsed_s']}s "
+            f"({d['throughput_rps']} req/s)",
+            f"hit ratio: {d['hit_ratio']} "
+            f"({self.hits}/{self.gets} gets; {self.puts} puts)",
+            f"latency ms p50/p95/p99 = {d['latency_ms']['p50']} / "
+            f"{d['latency_ms']['p95']} / {d['latency_ms']['p99']}",
+            f"errors: {self.errors}, timeouts: {self.timeouts}",
+        ]
+        for status, count in d["by_status"].items():
+            lines.append(f"  status[{status}] = {count}")
+        for cls, count in d["by_class"].items():
+            lines.append(f"  served[{cls}] = {count}")
+        return "\n".join(lines)
+
+
+async def _client(
+    index: int,
+    cfg: LoadGenConfig,
+    sampler: ZipfSampler,
+    op_rng: np.random.Generator,
+    clock: WallClock,
+    stop_at: float,
+    summary: LoadSummary,
+) -> None:
+    """One closed-loop client: connect once, request back-to-back."""
+    reader, writer = await asyncio.open_connection(cfg.host, cfg.port)
+    try:
+        while clock.now() < stop_at:
+            key = sampler.sample()
+            op = "put" if op_rng.random() < cfg.put_ratio else "get"
+            writer.write(json.dumps({"op": op, "key": key}).encode() + b"\n")
+            await writer.drain()
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=cfg.timeout
+                )
+            except asyncio.TimeoutError:
+                summary.timeouts += 1
+                continue
+            if not line:
+                break  # server drained mid-run; stop this client
+            summary.record(json.loads(line))
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass  # server went away; the summary keeps what completed
+    finally:
+        writer.close()
+
+
+async def run_loadgen(cfg: LoadGenConfig) -> LoadSummary:
+    """Run the closed loop; returns the aggregated summary.
+
+    Clients share one Zipf sampler (one popularity ranking for the
+    whole fleet — the paper's workload model) but draw keys through
+    per-run seeded streams, so runs are reproducible given a seed.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    sampler = ZipfSampler(cfg.n_items, cfg.theta, rng)
+    summary = LoadSummary()
+    clock = WallClock()
+    stop_at = clock.now() + cfg.duration
+    clients = [
+        _client(
+            index, cfg, sampler, np.random.default_rng(cfg.seed + 1 + index),
+            clock, stop_at, summary,
+        )
+        for index in range(cfg.clients)
+    ]
+    await asyncio.gather(*clients)
+    summary.elapsed = clock.now()
+    return summary

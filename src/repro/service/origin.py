@@ -1,0 +1,108 @@
+"""Origin adapter: the authoritative tier behind the edge caches.
+
+In the paper the authoritative copy of a key lives with its home-region
+custodians; in an edge-cache deployment it lives in an origin store the
+edge tier protects.  :class:`InMemoryOrigin` plays that role: it owns
+the :class:`~repro.workload.Database` (authoritative sizes, versions,
+and per-item TTR state for eq. 2), simulates origin round-trip latency,
+and exposes the failure controls the resilience tests and the chaos
+side of the load generator need — a *stall* switch under which fetches
+hang until the caller's deadline trips, exactly how a dead upstream
+looks from an edge box.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.workload.database import Database, DataItem
+
+__all__ = ["InMemoryOrigin"]
+
+
+class InMemoryOrigin:
+    """Async facade over the authoritative :class:`Database`.
+
+    Parameters
+    ----------
+    database:
+        Ground truth: sizes, versions, TTR state.
+    latency:
+        Simulated one-way-trip seconds added to every fetch/validate
+        (0 for unit tests).
+    """
+
+    def __init__(self, database: Database, latency: float = 0.0):
+        if latency < 0:
+            raise ValueError(f"origin latency must be nonnegative, got {latency}")
+        self.db = database
+        self.latency = float(latency)
+        self.fetches = 0
+        self.validations = 0
+        self.puts = 0
+        #: While True, fetch/validate block forever (callers' deadlines
+        #: and breakers must cope) — the "origin is down" chaos switch.
+        self._stalled = False
+        self._stall_released: Optional[asyncio.Event] = None
+
+    # -- failure injection ---------------------------------------------------
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    def stall(self) -> None:
+        """Stop answering: in-flight and new calls hang until resume()."""
+        if not self._stalled:
+            self._stalled = True
+            self._stall_released = asyncio.Event()
+
+    def resume(self) -> None:
+        """Answer again; hung calls proceed after their latency."""
+        if self._stalled:
+            self._stalled = False
+            self._stall_released.set()
+            self._stall_released = None
+
+    async def _maybe_stall(self) -> None:
+        while self._stalled:
+            await self._stall_released.wait()
+
+    # -- reads ---------------------------------------------------------------
+
+    async def fetch(self, key: int) -> DataItem:
+        """Authoritative item for ``key`` (full fetch: data + metadata)."""
+        await self._maybe_stall()
+        if self.latency > 0.0:
+            await asyncio.sleep(self.latency)
+        self.fetches += 1
+        return self.db[key]
+
+    async def validate(self, key: int) -> DataItem:
+        """Version check (the TTR-expired poll); metadata-only weight."""
+        await self._maybe_stall()
+        if self.latency > 0.0:
+            await asyncio.sleep(self.latency)
+        self.validations += 1
+        return self.db[key]
+
+    # -- writes (synchronous: the origin is in-process ground truth) ---------
+
+    def commit(self, key: int, now: float) -> DataItem:
+        """Apply an update at the authoritative copy; returns the item.
+
+        Version bump and update-interval bookkeeping follow
+        :meth:`DataItem.bump_version`; the caller's consistency scheme
+        then folds the new interval into the TTR (eq. 2).
+        """
+        item = self.db[key]
+        item.bump_version(now)
+        self.puts += 1
+        return item
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InMemoryOrigin(items={len(self.db)}, latency={self.latency}, "
+            f"fetches={self.fetches}, stalled={self._stalled})"
+        )

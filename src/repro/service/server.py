@@ -1,0 +1,583 @@
+"""EdgeCacheServer: the asyncio runtime around the cache core.
+
+One process hosts N region shards (one :class:`CacheService` each),
+keys routed to their home shard by the paper's geographic hash
+(:class:`~repro.service.routing.ShardDirectory`).  Clients speak a
+JSON-lines TCP protocol: one request object per line, one response
+object per line, ordered per connection.
+
+What the server adds around the core:
+
+* **shard workers** — each shard has an admission queue drained by a
+  worker task; ops on one shard are admitted in arrival order while
+  slow origin waits never block other shards (or later fresh hits on
+  the same shard: the worker fans each admitted op out to its own
+  task);
+* **write dissemination** — an in-process
+  :class:`~repro.ports.ConsistencyTransport`: an UpdatePush is applied
+  at the home shard first (which folds eq. 2 into the TTR) and then at
+  the replica shard, an invalidation floods every shard;
+* **replica failover** — a get the home shard cannot serve (breaker
+  open and no local copy, or deadline trip) is retried once against
+  the key's replica shard (§2.4), marked as a degraded serve;
+* **telemetry** — a sampler task publishes one row per interval to a
+  :class:`~repro.obs.TelemetryBus`, feeding the same live-export /
+  metrics-snapshot / ``--watch`` sinks the simulation uses, with the
+  same series names — ``repro watch`` renders a service run unchanged;
+* **graceful drain** — SIGTERM/SIGINT stops accepting connections,
+  lets queued and in-flight ops finish, flushes a final telemetry row,
+  writes the live export's end record, and exits 0.
+
+The wire protocol (newline-delimited JSON)::
+
+    {"op": "get", "key": 17}
+    {"op": "put", "key": 17}
+    {"op": "invalidate", "key": 17}
+    {"op": "stats"}
+    {"op": "ping"}
+    {"op": "chaos", "action": "stall" | "resume"}   # origin failure switch
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.core.consistency import (
+    ConsistencyScheme,
+    PlainPush,
+    PullEveryTime,
+    PushAdaptivePull,
+)
+from repro.core.messages import Invalidation, UpdatePush
+from repro.ports import CounterStatSink
+from repro.resilience.manager import ResilienceManager
+from repro.service.clock import WallClock
+from repro.service.core import CacheResponse, CacheService
+from repro.service.origin import InMemoryOrigin
+from repro.service.routing import ShardDirectory
+from repro.workload.database import Database
+
+__all__ = ["EdgeCacheServer", "ServiceConfig", "build_scheme"]
+
+#: Wire-protocol schemes -> constructors.
+_SCHEMES = {
+    "push-adaptive-pull": PushAdaptivePull,
+    "plain-push": PlainPush,
+    "pull-every-time": PullEveryTime,
+}
+
+
+def build_scheme(name: str) -> ConsistencyScheme:
+    try:
+        return _SCHEMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown consistency scheme {name!r} "
+            f"(choose from {sorted(_SCHEMES)})"
+        ) from None
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` needs to stand up an edge-cache tier."""
+
+    host: str = "127.0.0.1"
+    port: int = 7117
+    n_shards: int = 4
+    n_items: int = 500
+    #: Per-shard dynamic cache capacity as a fraction of total database
+    #: bytes (the paper expresses capacity the same way: 0.5 %-2.5 %).
+    cache_fraction: float = 0.05
+    seed: int = 1
+    #: Simulated origin round-trip (seconds); 0 = instant origin.
+    origin_latency: float = 0.0
+    consistency: str = "push-adaptive-pull"
+    #: Per-request latency budget (seconds); None disables deadlines.
+    deadline: Optional[float] = 1.0
+    suspect_after: float = 3.0
+    breaker_cooldown: float = 2.0
+    #: Telemetry sampling interval (wall seconds).
+    telemetry_interval: float = 1.0
+    live_export: Optional[str] = None
+    metrics_snapshot: Optional[str] = None
+    watch: bool = False
+    dashboard_mode: str = "auto"
+    #: Auto-shutdown after this many wall seconds; None = run forever.
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {self.n_shards}")
+        if self.n_items <= 0:
+            raise ValueError(f"n_items must be positive, got {self.n_items}")
+        if self.cache_fraction <= 0:
+            raise ValueError(
+                f"cache_fraction must be positive, got {self.cache_fraction}"
+            )
+        if self.telemetry_interval <= 0:
+            raise ValueError(
+                f"telemetry_interval must be positive, "
+                f"got {self.telemetry_interval}"
+            )
+        if self.consistency not in _SCHEMES:
+            raise ValueError(
+                f"unknown consistency scheme {self.consistency!r} "
+                f"(choose from {sorted(_SCHEMES)})"
+            )
+
+
+class _ShardWorker:
+    """Admission queue + fan-out executor for one shard.
+
+    Ops are *admitted* in arrival order (one queue per shard) but each
+    runs in its own task, so a stalled origin fetch never head-of-line
+    blocks the fresh hits queued behind it.  ``drain()`` stops
+    admission and waits for everything already admitted to finish.
+    """
+
+    def __init__(self, shard: CacheService):
+        self.shard = shard
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self._pending: Set[asyncio.Task] = set()
+        self._runner: Optional[asyncio.Task] = None
+        self._stopped = False
+
+    def start(self) -> None:
+        self._runner = asyncio.ensure_future(self._run())
+
+    async def _run(self) -> None:
+        while True:
+            job = await self.queue.get()
+            if job is None:
+                return
+            coro, future = job
+            task = asyncio.ensure_future(self._execute(coro, future))
+            self._pending.add(task)
+            task.add_done_callback(self._pending.discard)
+
+    @staticmethod
+    async def _execute(coro, future: asyncio.Future) -> None:
+        try:
+            result = await coro
+        except Exception as exc:  # noqa: BLE001 - relayed to the waiter
+            if not future.cancelled():
+                future.set_exception(exc)
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+
+    async def submit(self, coro):
+        """Enqueue one op on this shard and await its result.
+
+        After :meth:`drain` has begun, the queue is closed; late ops
+        (e.g. a replica-failover retry issued by a request that was
+        already in flight when the drain started) run inline instead of
+        parking behind the sentinel forever.
+        """
+        if self._stopped:
+            return await coro
+        future = asyncio.get_event_loop().create_future()
+        await self.queue.put((coro, future))
+        return await future
+
+    async def drain(self) -> None:
+        self._stopped = True
+        await self.queue.put(None)
+        if self._runner is not None:
+            await self._runner
+        if self._pending:
+            await asyncio.gather(*self._pending, return_exceptions=True)
+
+
+class _ShardTransport:
+    """ConsistencyTransport adapter: in-process shard delivery.
+
+    The simulation implements the same port with radio floods; here a
+    push is two method calls — home shard first (it owns the TTR fold
+    of eq. 2, exactly like the home custodian in the peer protocol),
+    then the replica shard — and an invalidation visits every shard.
+    """
+
+    def __init__(self, server: "EdgeCacheServer"):
+        self._server = server
+
+    def push_update_to_regions(self, updater: int, key: int, category: str) -> None:
+        server = self._server
+        item = server.database[key]
+        home = server.directory.home_region(key)
+        replica = server.directory.replica_region(key)
+        targets = [home] if replica == home else [home, replica]
+        for region_id in targets:
+            msg = UpdatePush(
+                key=key,
+                version=item.version,
+                update_time=item.last_update_time,
+                updater=updater,
+                data_size=item.size_bytes,
+                target_region_id=region_id,
+            )
+            server.shards[region_id].apply_push(item, msg)
+        server.stats.count("consistency.pushes", float(len(targets)))
+
+    def flood_invalidation(self, updater: int, key: int, category: str) -> None:
+        server = self._server
+        item = server.database[key]
+        msg = Invalidation(key=key, version=item.version, updater=updater)
+        for shard in server.shards.values():
+            shard.apply_invalidation(msg)
+        server.stats.count("consistency.invalidations")
+
+
+class EdgeCacheServer:
+    """The asyncio edge-cache service (see module docstring).
+
+    Construct with a :class:`ServiceConfig`, then either call
+    :meth:`run` (blocking; installs signal handlers; what ``repro
+    serve`` does) or drive it from an existing loop::
+
+        server = EdgeCacheServer(cfg)
+        await server.start()          # listening; server.port is bound
+        ...
+        await server.shutdown()       # graceful drain
+    """
+
+    def __init__(self, cfg: ServiceConfig):
+        self.cfg = cfg
+        self.clock = WallClock()
+        self.stats = CounterStatSink()
+        self.directory = ShardDirectory(cfg.n_shards, salt=cfg.seed)
+        rng = np.random.default_rng(cfg.seed)
+        self.database = Database(cfg.n_items, rng)
+        self.origin = InMemoryOrigin(self.database, latency=cfg.origin_latency)
+        self.scheme = build_scheme(cfg.consistency)
+        self.scheme.bind(_ShardTransport(self))
+        # Custodian-held TTR state starts exactly like the simulation's.
+        for item in self.database.items:
+            item.ttr = self.scheme.initial_ttr(item)
+        self.resilience = ResilienceManager(
+            retries=0,
+            deadline=cfg.deadline,
+            suspect_after=cfg.suspect_after,
+            cooldown=cfg.breaker_cooldown,
+            stats=self.stats,
+            event_hook=self._resilience_event,
+        )
+        per_shard_capacity = (
+            self.database.total_bytes * cfg.cache_fraction
+        )
+        self.shards: Dict[int, CacheService] = {
+            region_id: CacheService(
+                region_id,
+                per_shard_capacity,
+                clock=self.clock,
+                directory=self.directory,
+                origin=self.origin,
+                scheme=self.scheme,
+                resilience=self.resilience,
+                stats=self.stats,
+            )
+            for region_id in self.directory.region_ids()
+        }
+        self.workers: Dict[int, _ShardWorker] = {
+            region_id: _ShardWorker(shard)
+            for region_id, shard in self.shards.items()
+        }
+        self.port = cfg.port  # rebound to the real port after start()
+        self.bus = None
+        self._dashboard = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        #: Writers currently between request receipt and response flush;
+        #: the drain closes only idle (readline-parked) connections and
+        #: lets busy ones deliver their response first.
+        self._busy: Set[asyncio.StreamWriter] = set()
+        self._telemetry_task: Optional[asyncio.Task] = None
+        self._duration_task: Optional[asyncio.Task] = None
+        self._shutdown = asyncio.Event()
+        self._drained = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start shard workers and the telemetry sampler."""
+        self._build_bus()
+        for worker in self.workers.values():
+            worker.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.cfg.host, self.cfg.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.bus is not None:
+            self._telemetry_task = asyncio.ensure_future(self._telemetry_loop())
+        if self.cfg.duration is not None:
+            self._duration_task = asyncio.ensure_future(
+                self._auto_shutdown(self.cfg.duration)
+            )
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`request_shutdown`, then drain."""
+        await self._shutdown.wait()
+        await self.shutdown()
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger (idempotent)."""
+        self._shutdown.set()
+
+    async def shutdown(self) -> None:
+        """Graceful drain; see module docstring.  Idempotent."""
+        if self._drained:
+            return
+        self._drained = True
+        self._shutdown.set()
+        if self._duration_task is not None:
+            self._duration_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Everything admitted (queued or in flight) finishes first ...
+        await asyncio.gather(*(w.drain() for w in self.workers.values()))
+        # ... handlers get a beat to flush their responses ...
+        await asyncio.sleep(0)
+        # ... then idle connections (parked in readline) are closed;
+        # busy ones exit their loop after flushing the response.
+        for writer in list(self._writers):
+            if writer not in self._busy:
+                writer.close()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+        if self.bus is not None:
+            self.bus.publish(self.clock.now(), self._telemetry_row())
+            if self._dashboard is not None:
+                self._dashboard.close()
+            self.bus.close()
+
+    def run(self) -> int:
+        """Blocking entry point: serve until SIGTERM/SIGINT, exit 0."""
+        loop = asyncio.new_event_loop()
+        try:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.start())
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-Unix loop: Ctrl-C still raises KeyboardInterrupt
+            print(
+                f"edge-cache: {self.cfg.n_shards} shard(s) on "
+                f"{self.cfg.host}:{self.port}, {self.cfg.n_items} items, "
+                f"scheme {self.cfg.consistency}",
+                file=sys.stderr,
+            )
+            loop.run_until_complete(self.serve_forever())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            loop.run_until_complete(self.shutdown())
+        finally:
+            loop.close()
+        snapshot = self.stats.snapshot()
+        served = snapshot.get("service.get", 0.0)
+        hits = snapshot.get("cache.hits", 0.0)
+        print(
+            f"edge-cache: drained after {served:.0f} get(s), "
+            f"{hits:.0f} local hit(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    async def _auto_shutdown(self, duration: float) -> None:
+        await asyncio.sleep(duration)
+        self.request_shutdown()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self._writers.add(writer)
+        self.stats.count("service.connections")
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                started = self.clock.now()
+                self._busy.add(writer)
+                try:
+                    try:
+                        request = json.loads(line)
+                        response = await self._dispatch(request)
+                    except (ValueError, KeyError, TypeError) as exc:
+                        response = {"ok": False, "error": str(exc)}
+                    response["latency_ms"] = round(
+                        (self.clock.now() - started) * 1e3, 3
+                    )
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                finally:
+                    self._busy.discard(writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange; nothing to flush
+        finally:
+            self._writers.discard(writer)
+            self._connections.discard(task)
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "get":
+            return (await self._get(int(request["key"]))).to_dict()
+        if op == "put":
+            return (await self._put(int(request["key"]))).to_dict()
+        if op == "invalidate":
+            key = int(request["key"])
+            home = self.directory.home_region(key)
+            response = await self.workers[home].submit(
+                self._invalidate(key, home)
+            )
+            return response.to_dict()
+        if op == "stats":
+            return self.describe()
+        if op == "ping":
+            return {"op": "ping", "ok": True, "t": self.clock.now()}
+        if op == "chaos":
+            return self._chaos(request.get("action"))
+        raise ValueError(f"unknown op {op!r}")
+
+    async def _get(self, key: int) -> CacheResponse:
+        home = self.directory.home_region(key)
+        response = await self.workers[home].submit(self.shards[home].get(key))
+        if not response.ok:
+            replica = self.directory.replica_region(key)
+            if replica != home:
+                # §2.4 failover: one shot at the replica custodian,
+                # which may hold a pushed copy even when the home path
+                # is dark.  Steered: no breaker re-consultation there.
+                fallback = await self.workers[replica].submit(
+                    self.shards[replica].get(key, steered=True)
+                )
+                if fallback.ok:
+                    fallback.extra["failover"] = "replica"
+                    self.stats.count("service.replica_failover")
+                    return fallback
+        return response
+
+    async def _put(self, key: int) -> CacheResponse:
+        home = self.directory.home_region(key)
+        return await self.workers[home].submit(self._commit(key, home))
+
+    async def _commit(self, key: int, home: int) -> CacheResponse:
+        return self.shards[home].put(key, updater=-1)
+
+    async def _invalidate(self, key: int, home: int) -> CacheResponse:
+        response = self.shards[home].invalidate(key)
+        # A client purge floods every shard unconditionally (it must
+        # work under every scheme, unlike a Plain-Push notice).
+        for region_id, shard in self.shards.items():
+            if region_id != home and shard.purge(key):
+                self.stats.count("service.purge_flood")
+        return response
+
+    def _chaos(self, action: Optional[str]) -> dict:
+        if action == "stall":
+            self.origin.stall()
+        elif action == "resume":
+            self.origin.resume()
+        else:
+            raise ValueError(f"unknown chaos action {action!r}")
+        return {"op": "chaos", "ok": True, "stalled": self.origin.stalled}
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _build_bus(self) -> None:
+        cfg = self.cfg
+        if not (cfg.live_export or cfg.metrics_snapshot or cfg.watch):
+            return
+        from repro.obs import (
+            Dashboard,
+            JsonlLiveSink,
+            MetricsSnapshotWriter,
+            TelemetryBus,
+        )
+
+        self.bus = TelemetryBus()
+        if cfg.live_export is not None:
+            self.bus.attach_sink(JsonlLiveSink(cfg.live_export))
+        if cfg.metrics_snapshot is not None:
+            self.bus.attach_sink(MetricsSnapshotWriter(cfg.metrics_snapshot))
+        if cfg.watch:
+            self._dashboard = Dashboard(
+                self.bus,
+                duration=cfg.duration,
+                interval=cfg.telemetry_interval,
+                mode=cfg.dashboard_mode,
+                title="repro edge-cache",
+            )
+
+    def _resilience_event(self, kind: str, **fields) -> None:
+        if self.bus is not None:
+            self.bus.publish_event(self.clock.now(), kind, fields)
+
+    async def _telemetry_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.cfg.telemetry_interval)
+            self.bus.publish(self.clock.now(), self._telemetry_row())
+
+    def _telemetry_row(self) -> Dict[str, float]:
+        """One sampled row, same series names the simulation publishes."""
+        values = dict(self.stats.snapshot())
+        gets = values.get("service.get", 0.0)
+        hits = values.get("cache.hits", 0.0)
+        degraded = values.get("cache.degraded_serves", 0.0)
+        bytes_hit = values.get("cache.bytes_hit", 0.0)
+        bytes_origin = values.get("cache.bytes_from_origin", 0.0)
+        values["request.hit_ratio"] = (
+            (hits + degraded) / gets if gets else 0.0
+        )
+        values["request.byte_hit_ratio"] = (
+            bytes_hit / (bytes_hit + bytes_origin)
+            if (bytes_hit + bytes_origin) else 0.0
+        )
+        values["service.open_connections"] = float(len(self._connections))
+        for shard in self.shards.values():
+            values.update(shard.telemetry())
+        values.update(self.resilience.telemetry())
+        return values
+
+    def describe(self) -> dict:
+        """The ``stats`` op: a full JSON-friendly state snapshot."""
+        return {
+            "op": "stats",
+            "ok": True,
+            "t": self.clock.now(),
+            "shards": self.cfg.n_shards,
+            "items": self.cfg.n_items,
+            "consistency": self.cfg.consistency,
+            "origin": {
+                "fetches": self.origin.fetches,
+                "validations": self.origin.validations,
+                "puts": self.origin.puts,
+                "stalled": self.origin.stalled,
+            },
+            "telemetry": self._telemetry_row(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EdgeCacheServer(shards={len(self.shards)}, "
+            f"port={self.port}, drained={self._drained})"
+        )

@@ -11,7 +11,6 @@ heterogeneous sizes); :mod:`repro.workload.zipf` the popularity law;
 """
 
 from repro.workload.database import Database, DataItem
-from repro.workload.generator import PoissonArrivals, WorkloadGenerator
 from repro.workload.zipf import ZipfSampler
 
 __all__ = [
@@ -21,3 +20,15 @@ __all__ = [
     "WorkloadGenerator",
     "ZipfSampler",
 ]
+
+
+def __getattr__(name: str):
+    # The arrival processes schedule themselves on the simulation
+    # kernel; loading them lazily keeps the database/popularity half of
+    # the package usable from runtimes without repro.sim — the service
+    # load generator draws from the same ZipfSampler/Database pair.
+    if name in ("PoissonArrivals", "WorkloadGenerator"):
+        from repro.workload import generator
+
+        return getattr(generator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -40,3 +40,47 @@ class TestFacade:
         report = api.PReCinCtNetwork(cfg, observers=observers).run()
         assert isinstance(report, api.RunReport)
         assert observers.energy.total() > 0
+
+
+class TestServiceSurface:
+    """PR 9: ports + service promoted into the stable facade."""
+
+    def test_ports_are_canonical_objects(self):
+        import repro.ports as ports
+
+        assert api.Clock is ports.Clock
+        assert api.RngStream is ports.RngStream
+        assert api.StatSink is ports.StatSink
+        assert api.PeerDirectory is ports.PeerDirectory
+        assert api.ConsistencyTransport is ports.ConsistencyTransport
+
+    def test_service_entry_points_are_canonical_objects(self):
+        from repro.service import (
+            CacheService,
+            EdgeCacheServer,
+            LoadGenConfig,
+            ServiceConfig,
+            run_loadgen,
+        )
+
+        assert api.CacheService is CacheService
+        assert api.EdgeCacheServer is EdgeCacheServer
+        assert api.ServiceConfig is ServiceConfig
+        assert api.LoadGenConfig is LoadGenConfig
+        assert api.run_loadgen is run_loadgen
+
+    def test_all_is_sorted_and_complete(self):
+        assert list(api.__all__) == sorted(api.__all__)
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_readme_public_api_table_matches_all(self):
+        """The README's Public API table documents exactly __all__."""
+        import re
+        from pathlib import Path
+
+        readme = Path(__file__).resolve().parents[1] / "README.md"
+        text = readme.read_text(encoding="utf-8")
+        section = text.split("## Public API", 1)[1].split("\n## ", 1)[0]
+        documented = re.findall(r"^\| `(\w+)` \|", section, flags=re.M)
+        assert sorted(documented) == sorted(api.__all__)

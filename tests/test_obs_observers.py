@@ -1,8 +1,9 @@
-"""The Observers composition object (repro.obs.observers) and the
-deprecation path for the legacy run_scenario observability keywords.
+"""The Observers composition object (repro.obs.observers).
 
-This file is the ONLY test module allowed to exercise the deprecated
-``observability=`` / ``bundle_dir=`` / ``trace_sample_rate=`` keywords.
+The legacy ``observability=`` / ``bundle_dir=`` / ``trace_sample_rate=``
+run_scenario keywords completed their one-release deprecation cycle and
+are gone; ``TestRunScenarioObserversOnly`` pins both their removal and
+that the ``observers=`` replacement covers everything they did.
 """
 
 import warnings
@@ -68,62 +69,41 @@ class TestObserversAttach:
         assert observers.attached
 
 
-class TestDeprecatedRunScenarioKeywords:
-    """The one-release compatibility shim for the old duck-typed API."""
+class TestRunScenarioObserversOnly:
+    """The deprecated keywords are gone; Observers covers their ground."""
 
-    def test_observability_keyword_warns_and_still_works(self):
+    @pytest.mark.parametrize(
+        "legacy_kwargs",
+        [
+            {"observability": True},
+            {"trace_sample_rate": 0.5},
+            {"bundle_dir": "bundles"},
+        ],
+        ids=["observability", "trace_sample_rate", "bundle_dir"],
+    )
+    def test_legacy_keywords_removed(self, legacy_kwargs):
         from repro.faults.audit import run_scenario
 
-        with pytest.warns(DeprecationWarning, match="observability"):
-            net, report, digest = run_scenario(
-                "baseline", seed=42, observability=True
-            )
+        with pytest.raises(TypeError):
+            run_scenario("baseline", seed=42, **legacy_kwargs)
+
+    def test_observers_cover_the_legacy_surface(self, tmp_path):
+        from repro.faults.audit import run_scenario
+
+        net, report, digest = run_scenario(
+            "baseline", seed=42,
+            observers=Observers(
+                tracing=True, telemetry=True, profiling=True,
+                trace_sample_rate=0.5, recorder_dir=tmp_path / "bundles",
+            ),
+        )
         assert net.tracer is not None
         assert net.telemetry is not None
         assert net.profiler is not None
-
-    def test_legacy_equivalent_to_observers(self):
-        from repro.faults.audit import run_scenario
-
-        with pytest.warns(DeprecationWarning):
-            _, _, legacy_digest = run_scenario(
-                "baseline", seed=42, observability=True
-            )
-        _, _, new_digest = run_scenario(
-            "baseline", seed=42,
-            observers=Observers(tracing=True, telemetry=True, profiling=True),
-        )
-        assert legacy_digest.eventlog == new_digest.eventlog
-        assert legacy_digest.report == new_digest.report
-
-    def test_trace_sample_rate_keyword_maps(self):
-        from repro.faults.audit import run_scenario
-
-        with pytest.warns(DeprecationWarning, match="trace_sample_rate"):
-            net, _, _ = run_scenario(
-                "baseline", seed=42, trace_sample_rate=0.5
-            )
-        assert net.tracer is not None
+        assert net.recorder is not None
         assert net.tracer.sampled_out > 0
 
-    def test_bundle_dir_keyword_maps(self, tmp_path):
-        from repro.faults.audit import run_scenario
-
-        with pytest.warns(DeprecationWarning, match="bundle_dir"):
-            net, _, _ = run_scenario(
-                "baseline", seed=42, bundle_dir=tmp_path / "bundles"
-            )
-        assert net.recorder is not None
-
-    def test_mixing_old_and_new_raises(self):
-        from repro.faults.audit import run_scenario
-
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="not both"):
-                run_scenario("baseline", seed=42, observability=True,
-                             observers=Observers())
-
-    def test_new_path_does_not_warn(self):
+    def test_observers_path_does_not_warn(self):
         from repro.faults.audit import run_scenario
 
         with warnings.catch_warnings():
