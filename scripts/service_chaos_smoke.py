@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Service-chaos smoke gate: the survival layer must earn its keep.
+
+Runs the asyncio edge-cache server **in process** against a hostile
+scripted :class:`ServiceFaultPlan` — two shard kills, a shard wedge,
+an origin brownout (error rate), a full origin stall, and a latency
+spike — under open-loop (fixed-rate) Zipf load, twice:
+
+* **survival** mode: supervision + bounded admission (the defaults
+  this PR adds).  Gated SLOs:
+
+  - availability (served + degraded over answered traffic) >= FLOOR;
+  - p99 client latency <= P99_BOUND_MS;
+  - shed ratio > 0 — the overload phase actually shed instead of
+    queueing without bound;
+  - every killed shard was restarted and is serving again by the end
+    (recovery, not mere tolerance);
+  - zero stuck requests (no client timeouts) and zero stuck
+    connections / residual shard work after the drain.
+
+* **control** mode: the same plan with supervision disabled and
+  admission unbounded.  The gate *requires* at least one SLO
+  violation here — if the control run passes everything, the
+  survival layer is dead weight and the smoke fails.
+
+Exit codes: 0 = survival SLOs met and control measurably worse,
+1 = regression.  A JSON report and per-mode live-telemetry exports
+land in --out-dir for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import (  # noqa: E402
+    EdgeCacheServer,
+    LoadGenConfig,
+    ServiceConfig,
+    ServiceFaultPlan,
+    run_loadgen,
+)
+
+#: The hostile schedule (service seconds).  Two kills + one wedge +
+#: origin brownout/stall/spike; every fault class in one run.
+HOSTILE_PLAN = [
+    "shard-kill:at=1.0,shard=1",
+    "origin-error-rate:at=2.0,p=0.5,duration=1.5",
+    "shard-kill:at=3.0,shard=2",
+    "shard-wedge:at=4.0,shard=0,duration=2.0",
+    "origin-stall:at=5.0,duration=1.0",
+    "latency-spike:at=6.2,extra=0.2,duration=1.0",
+]
+KILLED_SHARDS = (1, 2)
+
+#: SLO gates (survival mode must meet all; control must break >= 1).
+AVAILABILITY_FLOOR = 0.80
+P99_BOUND_MS = 1500.0
+
+LOAD_DURATION = 8.5
+LOAD_RATE = 400.0
+LOAD_CLIENTS = 6
+
+
+def _service_config(mode: str, out_dir: Path, seed: int) -> ServiceConfig:
+    survival = mode == "survival"
+    return ServiceConfig(
+        port=0,
+        n_shards=4,
+        n_items=400,
+        cache_fraction=0.02,
+        seed=seed,
+        origin_latency=0.02,
+        deadline=0.6,
+        origin_retries=2 if survival else 0,
+        hedge_after=0.15 if survival else None,
+        max_inflight=16 if survival else None,
+        supervise=survival,
+        heartbeat_timeout=0.4,
+        restart_backoff_base=0.05,
+        fault_plan=ServiceFaultPlan.parse(HOSTILE_PLAN),
+        telemetry_interval=0.5,
+        live_export=str(out_dir / f"{mode}-live.jsonl"),
+    )
+
+
+async def _run_mode(mode: str, out_dir: Path, seed: int) -> dict:
+    cfg = _service_config(mode, out_dir, seed)
+    server = EdgeCacheServer(cfg)
+    await server.start()
+    summary = await run_loadgen(LoadGenConfig(
+        port=server.port,
+        clients=LOAD_CLIENTS,
+        duration=LOAD_DURATION,
+        rate=LOAD_RATE,
+        theta=0.9,
+        n_items=cfg.n_items,
+        seed=seed,
+        timeout=5.0,
+    ))
+    await asyncio.sleep(0.5)  # let the last restart cycle settle
+
+    killed = {
+        shard_id: {
+            "alive": server.workers[shard_id].alive(),
+            "restarts": server.workers[shard_id].restarts,
+        }
+        for shard_id in KILLED_SHARDS
+    }
+    down = (
+        sorted(server.supervisor.down)
+        if server.supervisor is not None else []
+    )
+    await server.shutdown()
+    stats = dict(server.stats.snapshot())
+
+    checks = {
+        "availability": summary.availability >= AVAILABILITY_FLOOR,
+        "p99_bounded": summary.latency_percentile(99) <= P99_BOUND_MS,
+        "shed_under_overload": summary.shed_ratio > 0.0,
+        "killed_shards_serving": all(
+            info["alive"] and info["restarts"] >= 1
+            for info in killed.values()
+        ) and not down,
+        "no_stuck_requests": summary.timeouts == 0,
+        "clean_drain": (
+            len(server._connections) == 0
+            and sum(w.load() for w in server.workers.values()) == 0
+        ),
+    }
+    return {
+        "mode": mode,
+        "summary": summary.to_dict(),
+        "killed_shards": {str(k): v for k, v in killed.items()},
+        "shards_down_at_end": down,
+        "checks": checks,
+        "stats": {
+            key: stats.get(key, 0.0)
+            for key in (
+                "service.shed", "service.shed.queue_full",
+                "service.worker_unavailable", "service.replica_failover",
+                "service.chaos_events",
+                "resilience.shard_down", "resilience.shard_restarts",
+                "resilience.shard_warm_keys",
+                "resilience.retry", "resilience.hedged_fetches",
+                "cache.origin_errors", "cache.degraded_serves",
+            )
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out-dir", default="service-chaos")
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    survival = asyncio.run(_run_mode("survival", out_dir, args.seed))
+    control = asyncio.run(_run_mode("control", out_dir, args.seed))
+
+    survival_ok = all(survival["checks"].values())
+    control_violations = sorted(
+        name for name, ok in control["checks"].items()
+        if not ok and name != "shed_under_overload"
+    )
+    # Shedding is a survival-mode mechanism, not a control-mode SLO;
+    # every other check is fair game for the control run to break.
+    layer_earns_keep = bool(control_violations)
+
+    report = {
+        "plan": HOSTILE_PLAN,
+        "slo": {
+            "availability_floor": AVAILABILITY_FLOOR,
+            "p99_bound_ms": P99_BOUND_MS,
+        },
+        "survival": survival,
+        "control": control,
+        "control_violations": control_violations,
+        "ok": survival_ok and layer_earns_keep,
+    }
+    report_path = out_dir / "service-chaos-report.json"
+    report_path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    for mode_report in (survival, control):
+        print(f"[{mode_report['mode']}]")
+        for name, ok in sorted(mode_report["checks"].items()):
+            print(f"  {'PASS' if ok else 'FAIL':4} {name}")
+        s = mode_report["summary"]
+        print(
+            f"  requests={s['requests']} availability={s['availability']} "
+            f"shed_ratio={s['shed_ratio']} p99={s['latency_ms']['p99']}ms "
+            f"timeouts={s['timeouts']}"
+        )
+    print(f"control violations: {control_violations or 'none'}")
+    print(f"report: {report_path}")
+    if not survival_ok:
+        print("FAIL: survival mode missed an SLO", file=sys.stderr)
+        return 1
+    if not layer_earns_keep:
+        print(
+            "FAIL: control run met every SLO — the survival layer "
+            "changed nothing",
+            file=sys.stderr,
+        )
+        return 1
+    print("service chaos smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

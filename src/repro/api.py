@@ -44,8 +44,12 @@ The facade re-exports (it defines nothing of its own):
     shards — the ``repro serve`` entry point
     (:mod:`repro.service.server`).
 ``run_loadgen`` / ``LoadGenConfig``
-    The closed-loop Zipf load generator — the ``repro loadgen`` entry
-    point (:mod:`repro.service.loadgen`).
+    The Zipf load generator (closed-loop, or open-loop fixed-rate) —
+    the ``repro loadgen`` entry point (:mod:`repro.service.loadgen`).
+``ServiceFaultPlan``
+    Scripted service-chaos schedule (shard kills/wedges, origin
+    brownouts) executed by the server on wall-clock time
+    (:mod:`repro.service.faultplan`).
 
 Import paths deeper than :mod:`repro.api` (and the :mod:`repro`
 package root re-exports) are internal and may move between releases;
@@ -74,6 +78,7 @@ from repro.service import (
     EdgeCacheServer,
     LoadGenConfig,
     ServiceConfig,
+    ServiceFaultPlan,
     run_loadgen,
 )
 
@@ -89,6 +94,7 @@ __all__ = [
     "RngStream",
     "RunReport",
     "ServiceConfig",
+    "ServiceFaultPlan",
     "SimulationConfig",
     "StatSink",
     "audit_scenario",

@@ -352,6 +352,39 @@ def build_parser() -> argparse.ArgumentParser:
     srv_p.add_argument("--deadline", type=float, default=1.0, metavar="S",
                        help="per-request latency budget in seconds; "
                             "0 disables deadlines (default 1.0)")
+    srv_p.add_argument("--origin-retries", type=int, default=0, metavar="N",
+                       help="origin retry budget per request; only "
+                            "answered failures consume it (default 0)")
+    srv_p.add_argument("--hedge-after", type=float, default=None,
+                       metavar="S",
+                       help="launch a hedged duplicate of an origin call "
+                            "slow for S seconds (default: no hedging)")
+    srv_p.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                       help="per-shard bound on admitted-but-unfinished "
+                            "ops before shedding; 0 = unbounded "
+                            "(default 64)")
+    srv_p.add_argument("--no-supervise", action="store_true",
+                       help="disable shard supervision (crash/wedge "
+                            "detection, backoff restarts, warm rebuild)")
+    srv_p.add_argument("--heartbeat-timeout", type=float, default=1.0,
+                       metavar="S",
+                       help="seconds a shard may sit on queued work "
+                            "without progress before it is declared "
+                            "wedged (default 1.0)")
+    srv_p.add_argument("--hot-key-policy", choices=["off", "shed", "coalesce"],
+                       default="off",
+                       help="hot-key protection: shed or coalesce keys "
+                            "over the rate threshold (default off)")
+    srv_p.add_argument("--hot-key-threshold", type=int, default=50,
+                       metavar="N",
+                       help="requests per window that make a key hot "
+                            "(default 50)")
+    srv_p.add_argument("--service-fault", action="append", default=[],
+                       metavar="SPEC", dest="service_faults",
+                       help="scripted chaos event, e.g. "
+                            "'shard-kill:at=2,shard=1' or "
+                            "'origin-error-rate:at=1,p=0.5,duration=3'; "
+                            "repeatable")
     srv_p.add_argument("--duration", type=float, default=None, metavar="S",
                        help="auto-shutdown after S wall seconds "
                             "(default: run until SIGTERM)")
@@ -373,13 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     lg_p = sub.add_parser(
         "loadgen",
-        help="closed-loop Zipf load generator against a running "
-             "'repro serve' instance",
+        help="Zipf load generator against a running 'repro serve' "
+             "instance: closed-loop by default, open-loop with --rate",
     )
     lg_p.add_argument("--host", default="127.0.0.1")
     lg_p.add_argument("--port", type=int, default=7117)
     lg_p.add_argument("--clients", type=int, default=4,
-                      help="concurrent closed-loop clients (default 4)")
+                      help="concurrent clients (default 4)")
+    lg_p.add_argument("--rate", type=float, default=None, metavar="R",
+                      help="open-loop offered load in requests/second "
+                           "across all clients (default: closed loop)")
     lg_p.add_argument("--duration", type=float, default=5.0, metavar="S",
                       help="wall seconds to run (default 5)")
     lg_p.add_argument("--theta", type=float, default=0.8,
@@ -1031,8 +1067,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import EdgeCacheServer, ServiceConfig
+    from repro.service import (
+        CHAOS_GRAMMAR,
+        EdgeCacheServer,
+        ServiceConfig,
+        ServiceFaultPlan,
+    )
 
+    try:
+        fault_plan = (
+            ServiceFaultPlan.parse(args.service_faults)
+            if args.service_faults else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("supported fault specs:", file=sys.stderr)
+        for line in CHAOS_GRAMMAR:
+            print(f"  {line}", file=sys.stderr)
+        return 2
     try:
         cfg = ServiceConfig(
             host=args.host,
@@ -1044,6 +1096,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             origin_latency=args.origin_latency,
             consistency=args.consistency,
             deadline=args.deadline if args.deadline > 0 else None,
+            origin_retries=args.origin_retries,
+            hedge_after=args.hedge_after,
+            max_inflight=args.max_inflight if args.max_inflight > 0 else None,
+            supervise=not args.no_supervise,
+            heartbeat_timeout=args.heartbeat_timeout,
+            hot_key_policy=args.hot_key_policy,
+            hot_key_threshold=args.hot_key_threshold,
+            fault_plan=fault_plan,
             telemetry_interval=args.telemetry_interval,
             live_export=args.live_export,
             metrics_snapshot=args.metrics_snapshot,
@@ -1073,6 +1133,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             put_ratio=args.put_ratio,
             timeout=args.timeout,
+            rate=args.rate,
             expect_hit_ratio=args.expect_hit_ratio,
         )
     except (ValueError, TypeError) as exc:

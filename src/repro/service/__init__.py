@@ -9,25 +9,44 @@ through the ports of :mod:`repro.ports`.  This package supplies the
 * :mod:`repro.service.clock` — wall-clock / manual ``Clock`` adapters;
 * :mod:`repro.service.routing` — geographic-hash shard routing
   (``PeerDirectory`` adapter);
-* :mod:`repro.service.origin` — the authoritative tier, with a stall
-  switch for chaos testing;
+* :mod:`repro.service.origin` — the authoritative tier, with stall /
+  error-rate / latency-spike brownout controls for chaos testing;
 * :mod:`repro.service.core` — :class:`CacheService`, one region shard;
 * :mod:`repro.service.server` — :class:`EdgeCacheServer`, the JSON-
   lines TCP runtime (``repro serve``);
-* :mod:`repro.service.loadgen` — the closed-loop Zipf load generator
-  (``repro loadgen``).
+* :mod:`repro.service.supervision` — :class:`ShardSupervisor`, the
+  crash/wedge watchdog with backoff restarts and warm rebuild;
+* :mod:`repro.service.faultplan` / :mod:`repro.service.chaos` —
+  scripted :class:`ServiceFaultPlan` schedules and the injector that
+  executes them on wall-clock time;
+* :mod:`repro.service.loadgen` — the Zipf load generator, closed-loop
+  or open-loop fixed-rate (``repro loadgen``).
 
 See ``docs/SERVICE.md`` for the tour.
 """
 
+from repro.service.chaos import ServiceFaultInjector
 from repro.service.clock import ManualClock, WallClock
 from repro.service.core import CacheResponse, CacheService, DeadlineExceeded
+from repro.service.faultplan import (
+    CHAOS_GRAMMAR,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+)
 from repro.service.loadgen import LoadGenConfig, LoadSummary, run_loadgen
-from repro.service.origin import InMemoryOrigin
+from repro.service.origin import InMemoryOrigin, OriginError
 from repro.service.routing import ShardDirectory
-from repro.service.server import EdgeCacheServer, ServiceConfig, build_scheme
+from repro.service.server import (
+    EdgeCacheServer,
+    ServiceConfig,
+    WorkerOverloaded,
+    WorkerUnavailable,
+    build_scheme,
+)
+from repro.service.supervision import ShardSupervisor
 
 __all__ = [
+    "CHAOS_GRAMMAR",
     "CacheResponse",
     "CacheService",
     "DeadlineExceeded",
@@ -36,9 +55,16 @@ __all__ = [
     "LoadGenConfig",
     "LoadSummary",
     "ManualClock",
+    "OriginError",
     "ServiceConfig",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
     "ShardDirectory",
+    "ShardSupervisor",
     "WallClock",
+    "WorkerOverloaded",
+    "WorkerUnavailable",
     "build_scheme",
     "run_loadgen",
 ]

@@ -43,7 +43,7 @@ from repro.resilience.manager import (
     ROUTE_STEER,
     ResilienceManager,
 )
-from repro.service.origin import InMemoryOrigin
+from repro.service.origin import InMemoryOrigin, OriginError
 from repro.workload.database import DataItem
 
 __all__ = ["CacheResponse", "CacheService", "DeadlineExceeded"]
@@ -64,14 +64,15 @@ class CacheResponse:
     version: int = -1
     size_bytes: float = 0.0
     #: Serve class for stats/telemetry: "local", "origin", "degraded",
-    #: or "failed" — the service analogue of the sim's served_by_class.
+    #: "shed" (load-shedding refusal), or "failed" — the service
+    #: analogue of the sim's served_by_class.
     served_class: str = "failed"
     #: Extra fields (latency is stamped by the server).
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return self.served_class != "failed"
+        return self.served_class not in ("failed", "shed")
 
     def to_dict(self) -> Dict[str, Any]:
         out = {
@@ -107,8 +108,12 @@ class CacheService:
         Consistency scheme; default Push-with-Adaptive-Pull (TTR).
         The caller binds it to a transport before puts disseminate.
     resilience:
-        Shared :class:`ResilienceManager` (deadlines + breakers); None
-        disables both.
+        Shared :class:`ResilienceManager` (deadlines + breakers + the
+        origin retry budget); None disables all three.
+    hedge_after:
+        Seconds to wait on a slow origin call before launching one
+        hedged duplicate and racing the pair (first success wins);
+        None disables hedging.
     stats:
         :class:`~repro.ports.StatSink` for service counters; shards of
         one server share a sink.
@@ -128,13 +133,17 @@ class CacheService:
         resilience: Optional[ResilienceManager] = None,
         stats: Optional[StatSink] = None,
         policy: Optional[ReplacementPolicy] = None,
+        hedge_after: Optional[float] = None,
     ):
+        if hedge_after is not None and hedge_after <= 0.0:
+            raise ValueError(f"hedge_after must be positive, got {hedge_after}")
         self.shard_id = int(shard_id)
         self.clock = clock
         self.directory = directory
         self.origin = origin
         self.scheme = scheme if scheme is not None else PushAdaptivePull()
         self.resilience = resilience
+        self.hedge_after = hedge_after
         self.stats = stats if stats is not None else CounterStatSink()
         self.cache = PeerCache(capacity_bytes, policy=policy)
         #: Region-level access counts driving GD-LD's popularity term.
@@ -166,12 +175,19 @@ class CacheService:
         if self.resilience is not None and not probe and not steered:
             verdict = self.resilience.route_home(self.shard_id, now)
             if verdict == ROUTE_STEER:
-                return self._serve_degraded(entry, now, reason="breaker-open")
+                return self._serve_degraded(
+                    key, entry, now, reason="breaker-open"
+                )
             probe = verdict == ROUTE_PROBE
 
         try:
             if entry is not None:
-                item = await self._bounded(self.origin.validate(key), deadline)
+                item = await self._bounded(
+                    self._origin_attempts(
+                        lambda: self.origin.validate(key)
+                    ),
+                    deadline,
+                )
             else:
                 item = await self._fetch_coalesced(key, deadline)
         except DeadlineExceeded:
@@ -179,12 +195,18 @@ class CacheService:
             self.stats.count("resilience.deadline_exceeded")
             self._origin_outcome(False, probe, now)
             if entry is not None:
-                return self._serve_degraded(entry, now, reason="deadline")
+                return self._serve_degraded(key, entry, now, reason="deadline")
             self.stats.count("cache.deadline_miss")
             return CacheResponse(
                 "get", key, "deadline", self.shard_id,
                 extra={"reason": "deadline"},
             )
+        except OriginError:
+            # The retry budget is spent and every attempt failed: book
+            # the brownout against the breaker and degrade the serve.
+            now = self.clock.now()
+            self._origin_outcome(False, probe, now)
+            return self._serve_degraded(key, entry, now, reason="origin-error")
         now = self.clock.now()
         self._origin_outcome(True, probe, now)
 
@@ -244,6 +266,56 @@ class CacheService:
         """
         return self.cache.evict(key)
 
+    # -- supervision hooks (driven by the shard supervisor) ------------------
+
+    def reset(self) -> None:
+        """Crash semantics: the shard's dynamic state is gone.
+
+        Called by the supervisor when the shard worker died — a real
+        shard process taking its cache, popularity counts, and
+        in-flight fetches with it.  The authoritative tier (origin)
+        and the shared resilience state survive, exactly as they
+        would a single-box crash.
+        """
+        for fut in self._inflight.values():
+            fut.cancel()
+        self._inflight.clear()
+        self._access_counts.clear()
+        self.cache.clear()
+
+    def warm_admit(self, key: int, copy: CachedCopy, now: float) -> bool:
+        """Admit a clone of a replica-held copy (warm rebuild).
+
+        The supervisor replays the replica shard's pushed/served copies
+        into a freshly restarted home shard before readmitting traffic,
+        so the reborn shard answers its hot keys locally instead of
+        thundering at the origin.  Version/TTR state is the replica's;
+        the GD-LD distance term is recomputed for *this* shard.
+        """
+        if key in self.cache:
+            return False
+        distance = getattr(self.directory, "key_distance", None)
+        reg_dst = (
+            distance(key, self.shard_id) if distance is not None
+            else self.directory.region_distance(
+                self.directory.replica_region(key), self.shard_id
+            )
+        )
+        clone = CachedCopy(
+            key=key,
+            size_bytes=copy.size_bytes,
+            version=copy.version,
+            access_count=self._access_counts.get(key, copy.access_count),
+            region_distance=reg_dst,
+            ttr=copy.ttr,
+            validated_at=copy.validated_at,
+            last_access=now,
+        )
+        evicted = self.cache.insert(clone, now)
+        if evicted:
+            self.stats.count("cache.evictions", float(len(evicted)))
+        return key in self.cache
+
     # -- custodian hooks (driven by the server's transport adapter) ----------
 
     def apply_push(self, item: DataItem, msg: UpdatePush) -> None:
@@ -300,13 +372,13 @@ class CacheService:
         )
 
     def _serve_degraded(
-        self, entry: Optional[CachedCopy], now: float, reason: str
+        self, key: int, entry: Optional[CachedCopy], now: float, reason: str
     ) -> CacheResponse:
         """Breaker-steered or timed-out read: stale copy beats failure."""
         if entry is None:
             self.stats.count("cache.unavailable")
             return CacheResponse(
-                "get", -1 if entry is None else entry.key, "unavailable",
+                "get", key, "unavailable",
                 self.shard_id, extra={"reason": reason},
             )
         entry.access_count = self._access_counts.get(entry.key, 1)
@@ -354,10 +426,16 @@ class CacheService:
         return item.key in self.cache
 
     async def _fetch_coalesced(self, key: int, deadline: Optional[float]):
-        """One origin fetch per key, however many waiters pile on."""
+        """One origin fetch per key, however many waiters pile on.
+
+        The shared fetch carries the retry budget and hedging, so a
+        brownout costs one retry ladder per key — not one per waiter.
+        """
         fut = self._inflight.get(key)
         if fut is None:
-            fut = asyncio.ensure_future(self.origin.fetch(key))
+            fut = asyncio.ensure_future(
+                self._origin_attempts(lambda: self.origin.fetch(key))
+            )
             self._inflight[key] = fut
 
             def _done(f: "asyncio.Future", _key: int = key) -> None:
@@ -371,6 +449,69 @@ class CacheService:
             self.stats.count("cache.coalesced_fetches")
         # shield(): one waiter's deadline must not cancel the shared fetch.
         return await self._bounded(asyncio.shield(fut), deadline)
+
+    async def _origin_attempts(self, factory):
+        """Retry budget + hedging around one origin interaction.
+
+        Only :class:`OriginError` (an answered failure) consumes the
+        retry budget — a stall is indistinguishable from slowness and
+        is the deadline's / hedge's problem, not the retry loop's.
+        Backoff waits run inside the caller's deadline bound, so a
+        retry ladder can never outlive the request budget.
+        """
+        attempts = 1 + (
+            self.resilience.retries if self.resilience is not None else 0
+        )
+        for attempt in range(1, attempts + 1):
+            try:
+                return await self._hedged(factory)
+            except OriginError:
+                self.stats.count("cache.origin_errors")
+                if attempt == attempts:
+                    raise
+                self.stats.count("resilience.retry")
+                await asyncio.sleep(self.resilience.retry_delay(attempt))
+
+    async def _hedged(self, factory):
+        """Race a slow origin call against one hedged duplicate.
+
+        The primary gets ``hedge_after`` seconds to itself; past that,
+        a second call is launched and the first *success* wins (an
+        error from either side is held until both have failed).
+        """
+        if self.hedge_after is None:
+            return await factory()
+        primary = asyncio.ensure_future(factory())
+        tasks = [primary]
+        try:
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(primary), self.hedge_after
+                )
+            except asyncio.TimeoutError:
+                pass  # primary is slow: hedge
+            self.stats.count("resilience.hedged_fetches")
+            backup = asyncio.ensure_future(factory())
+            tasks.append(backup)
+            pending = set(tasks)
+            error: Optional[BaseException] = None
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.cancelled():
+                        continue
+                    if task.exception() is None:
+                        if task is backup:
+                            self.stats.count("resilience.hedge_wins")
+                        return task.result()
+                    error = task.exception()
+            raise error if error is not None else OriginError("hedge failed")
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
 
     async def _bounded(self, awaitable, deadline: Optional[float]):
         """Await under the request's absolute deadline (fail fast)."""

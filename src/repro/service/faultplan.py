@@ -1,0 +1,221 @@
+"""Scripted service-chaos schedules (the wall-clock FaultPlan).
+
+The simulator's :class:`repro.faults.FaultPlan` scripts radio-level
+faults against virtual time; :class:`ServiceFaultPlan` is its
+edge-cache sibling: an ordered schedule of timed *service* fault
+events, executed on wall-clock time by
+:class:`repro.service.chaos.ServiceFaultInjector`.  Plans are plain
+frozen dataclasses — hashable, picklable, serializable to/from dicts
+and compact CLI/wire expressions — so the chaos smoke gate, the
+``repro serve --service-fault`` flag, and the ``chaos`` wire op all
+speak the same grammar::
+
+    shard-kill:at=2,shard=1
+    shard-wedge:at=3,shard=0,duration=1.5
+    origin-stall:at=4,duration=2
+    origin-resume:at=6
+    origin-error-rate:at=1,p=0.5,duration=3
+    latency-spike:at=5,extra=0.2,duration=2
+
+Times are service seconds (the server's :class:`WallClock`, zeroed at
+start).  ``shard-kill`` injects an unhandled exception into the shard
+worker's runner task (the supervisor sees a crashed worker and the
+shard's cache is lost, as if the process died); ``shard-wedge`` blocks
+the runner loop for ``duration`` seconds (heartbeat overrun — the
+supervisor restarts the worker but the cache survives).  The origin
+kinds drive :class:`~repro.service.origin.InMemoryOrigin`'s brownout
+controls; error-rate draws come from the service's dedicated
+resilience RNG stream so runs replay from the seed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "CHAOS_GRAMMAR",
+    "ORIGIN_KINDS",
+    "SERVICE_KINDS",
+    "SHARD_KINDS",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
+]
+
+#: Shard-worker fault kinds (need a ``shard=`` target).
+SHARD_KINDS = frozenset({"shard-kill", "shard-wedge"})
+#: Origin-tier fault kinds (brownout controls).
+ORIGIN_KINDS = frozenset(
+    {"origin-stall", "origin-resume", "origin-error-rate", "latency-spike"}
+)
+SERVICE_KINDS = SHARD_KINDS | ORIGIN_KINDS
+
+#: One compact line per kind — echoed by argparse errors and by the
+#: ``chaos`` wire op's structured rejection of unknown actions.
+CHAOS_GRAMMAR: Tuple[str, ...] = (
+    "shard-kill:at=T,shard=N",
+    "shard-wedge:at=T,shard=N,duration=S",
+    "origin-stall:at=T[,duration=S]",
+    "origin-resume:at=T",
+    "origin-error-rate:at=T,p=P[,duration=S]",
+    "latency-spike:at=T,extra=S[,duration=S]",
+)
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One timed service fault.  Only kind-relevant fields are used."""
+
+    #: One of :data:`SERVICE_KINDS`.
+    kind: str
+    #: Service time (wall seconds since server start) the event fires.
+    at: float = 0.0
+    #: Target shard id (``shard-kill`` / ``shard-wedge``).
+    shard: Optional[int] = None
+    #: How long the fault holds before auto-reverting (seconds).
+    #: Required for ``shard-wedge``; optional for the origin kinds
+    #: (None = until an explicit ``origin-resume`` / rate reset).
+    duration: Optional[float] = None
+    #: ``origin-error-rate``: chance a fetch/validate fails.
+    probability: float = 1.0
+    #: ``latency-spike``: extra per-call origin latency (seconds).
+    extra: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_KINDS:
+            raise ValueError(
+                f"unknown service fault kind {self.kind!r} "
+                f"(expected one of {sorted(SERVICE_KINDS)})"
+            )
+        if self.at < 0.0 or not math.isfinite(self.at):
+            raise ValueError(f"at must be a finite time >= 0, got {self.at}")
+        if self.kind in SHARD_KINDS:
+            if self.shard is None or self.shard < 0:
+                raise ValueError(f"{self.kind} requires shard=<id>")
+        if self.kind == "shard-wedge" and (
+            self.duration is None or self.duration <= 0.0
+        ):
+            raise ValueError("shard-wedge requires duration=<seconds> > 0")
+        if self.duration is not None and self.duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.kind == "latency-spike" and self.extra <= 0.0:
+            raise ValueError("latency-spike requires extra=<seconds> > 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form with default-valued fields elided."""
+        defaults = ServiceFaultSpec.__dataclass_fields__
+        out: Dict[str, Any] = {"kind": self.kind}
+        for name, value in asdict(self).items():
+            if name != "kind" and value != defaults[name].default:
+                out[name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """An ordered, immutable schedule of service fault events."""
+
+    specs: Tuple[ServiceFaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, ServiceFaultSpec):
+                raise TypeError(
+                    f"ServiceFaultPlan entries must be ServiceFaultSpec, "
+                    f"got {spec!r}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def timeline(self) -> Tuple[ServiceFaultSpec, ...]:
+        """Specs in firing order (stable for equal times)."""
+        return tuple(sorted(self.specs, key=lambda s: s.at))
+
+    @property
+    def shard_kills(self) -> Tuple[ServiceFaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind == "shard-kill")
+
+    def max_shard(self) -> int:
+        """Highest shard id any spec targets (-1 when none do)."""
+        return max((s.shard for s in self.specs if s.shard is not None),
+                   default=-1)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"specs": [spec.to_dict() for spec in self.specs]}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Union[Mapping, Sequence]) -> "ServiceFaultPlan":
+        """Build a plan from ``{"specs": [...]}`` or a bare spec list."""
+        entries = data.get("specs", []) if isinstance(data, Mapping) else data
+        return cls(tuple(ServiceFaultSpec(**dict(e)) for e in entries))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceFaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- compact expressions ---------------------------------------------
+
+    _ALIASES = {"p": "probability", "prob": "probability", "dur": "duration"}
+    _INT_FIELDS = frozenset({"shard"})
+    _FLOAT_FIELDS = frozenset({"at", "duration", "probability", "extra"})
+
+    @classmethod
+    def parse_spec(cls, expr: str) -> ServiceFaultSpec:
+        """Parse one compact expression, e.g. ``shard-kill:at=2,shard=1``."""
+        kind, _, rest = expr.strip().partition(":")
+        kind = kind.strip()
+        if kind not in SERVICE_KINDS:
+            raise ValueError(
+                f"unknown service fault kind {kind!r} in {expr!r} "
+                f"(grammar: {'; '.join(CHAOS_GRAMMAR)})"
+            )
+        kwargs: Dict[str, Any] = {}
+        for item in filter(None, (part.strip() for part in rest.split(","))):
+            name, sep, raw = item.partition("=")
+            if not sep:
+                raise ValueError(f"malformed parameter {item!r} in {expr!r}")
+            name = cls._ALIASES.get(name.strip(), name.strip())
+            raw = raw.strip()
+            if name in cls._INT_FIELDS:
+                kwargs[name] = int(raw)
+            elif name in cls._FLOAT_FIELDS:
+                kwargs[name] = float(raw)
+            else:
+                raise ValueError(f"unknown parameter {name!r} in {expr!r}")
+        return ServiceFaultSpec(kind=kind, **kwargs)
+
+    @classmethod
+    def parse(cls, exprs: Sequence[str]) -> "ServiceFaultPlan":
+        """Parse a sequence of compact expressions into a plan."""
+        return cls(tuple(cls.parse_spec(expr) for expr in exprs))
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary, in firing order."""
+        if not self.specs:
+            return "ServiceFaultPlan(empty)"
+        lines: List[str] = []
+        for spec in self.timeline():
+            params = ", ".join(
+                f"{k}={v}" for k, v in spec.to_dict().items() if k != "kind"
+            )
+            lines.append(f"  t={spec.at:<8g} {spec.kind:<18} {params}")
+        return "ServiceFaultPlan:\n" + "\n".join(lines)

@@ -20,6 +20,15 @@ What the server adds around the core:
 * **replica failover** — a get the home shard cannot serve (breaker
   open and no local copy, or deadline trip) is retried once against
   the key's replica shard (§2.4), marked as a degraded serve;
+* **shard supervision** — a :class:`ShardSupervisor` watchdog detects
+  a crashed or wedged worker, restarts it with exponential backoff,
+  and warm-rebuilds a crashed shard's cache from replica-held copies
+  before readmitting traffic;
+* **overload shedding** — each shard bounds its admitted-but-unfinished
+  work (``max_inflight``); past the bound, ops are refused with an
+  explicit ``overloaded`` response (served class ``shed``) instead of
+  growing the queue without bound.  Optional hot-key protection sheds
+  or coalesces keys that exceed a request-rate threshold;
 * **telemetry** — a sampler task publishes one row per interval to a
   :class:`~repro.obs.TelemetryBus`, feeding the same live-export /
   metrics-snapshot / ``--watch`` sinks the simulation uses, with the
@@ -35,7 +44,9 @@ The wire protocol (newline-delimited JSON)::
     {"op": "invalidate", "key": 17}
     {"op": "stats"}
     {"op": "ping"}
-    {"op": "chaos", "action": "stall" | "resume"}   # origin failure switch
+    {"op": "chaos", "action": "stall" | "resume"}       # origin switch
+    {"op": "chaos", "action": "inject",
+     "spec": "origin-error-rate:at=0,p=0.5,duration=2"}  # any fault spec
 """
 
 from __future__ import annotations
@@ -57,14 +68,31 @@ from repro.core.consistency import (
 )
 from repro.core.messages import Invalidation, UpdatePush
 from repro.ports import CounterStatSink
+from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.manager import ResilienceManager
+from repro.service.chaos import ServiceFaultInjector
 from repro.service.clock import WallClock
 from repro.service.core import CacheResponse, CacheService
+from repro.service.faultplan import (
+    CHAOS_GRAMMAR,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+)
 from repro.service.origin import InMemoryOrigin
 from repro.service.routing import ShardDirectory
+from repro.service.supervision import ShardSupervisor
 from repro.workload.database import Database
 
-__all__ = ["EdgeCacheServer", "ServiceConfig", "build_scheme"]
+__all__ = [
+    "EdgeCacheServer",
+    "ServiceConfig",
+    "WorkerOverloaded",
+    "WorkerUnavailable",
+    "build_scheme",
+]
+
+#: Hot-key protection policies (``off`` disables the tracker).
+HOT_KEY_POLICIES = ("off", "shed", "coalesce")
 
 #: Wire-protocol schemes -> constructors.
 _SCHEMES = {
@@ -103,6 +131,36 @@ class ServiceConfig:
     deadline: Optional[float] = 1.0
     suspect_after: float = 3.0
     breaker_cooldown: float = 2.0
+    #: Origin retry budget per request (0 disables in-request retries;
+    #: only answered failures consume it — stalls are the deadline's
+    #: problem).
+    origin_retries: int = 0
+    #: First-retry backoff (seconds) when ``origin_retries > 0``.
+    retry_backoff_base: float = 0.05
+    #: Launch a hedged duplicate after a origin call has been slow for
+    #: this many seconds; None disables hedging.
+    hedge_after: Optional[float] = None
+    #: Per-shard bound on admitted-but-unfinished ops; past it, new
+    #: ops are shed with an ``overloaded`` response.  None = unbounded
+    #: (the pre-survival behaviour).
+    max_inflight: Optional[int] = 64
+    #: Shard supervision (crash/wedge detection + backoff restarts).
+    supervise: bool = True
+    #: Seconds a worker may sit on queued work without progress before
+    #: the supervisor declares it wedged.
+    heartbeat_timeout: float = 1.0
+    #: First-restart backoff (seconds) for a failed shard.
+    restart_backoff_base: float = 0.05
+    #: Warm-rebuild a crashed shard's cache from replica-held copies.
+    warm_rebuild: bool = True
+    #: Hot-key protection: "off", "shed", or "coalesce".
+    hot_key_policy: str = "off"
+    #: Requests per window that make a key hot.
+    hot_key_threshold: int = 50
+    #: Hot-key counting window (seconds).
+    hot_key_window: float = 1.0
+    #: Scripted chaos schedule executed on the server's clock.
+    fault_plan: Optional[ServiceFaultPlan] = None
     #: Telemetry sampling interval (wall seconds).
     telemetry_interval: float = 1.0
     live_export: Optional[str] = None
@@ -131,6 +189,76 @@ class ServiceConfig:
                 f"unknown consistency scheme {self.consistency!r} "
                 f"(choose from {sorted(_SCHEMES)})"
             )
+        if self.origin_retries < 0:
+            raise ValueError(
+                f"origin_retries must be >= 0, got {self.origin_retries}"
+            )
+        if self.retry_backoff_base <= 0:
+            raise ValueError(
+                f"retry_backoff_base must be positive, "
+                f"got {self.retry_backoff_base}"
+            )
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ValueError(
+                f"hedge_after must be positive, got {self.hedge_after}"
+            )
+        if self.max_inflight is not None and self.max_inflight <= 0:
+            raise ValueError(
+                f"max_inflight must be positive, got {self.max_inflight}"
+            )
+        if self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, "
+                f"got {self.heartbeat_timeout}"
+            )
+        if self.restart_backoff_base <= 0:
+            raise ValueError(
+                f"restart_backoff_base must be positive, "
+                f"got {self.restart_backoff_base}"
+            )
+        if self.hot_key_policy not in HOT_KEY_POLICIES:
+            raise ValueError(
+                f"unknown hot_key_policy {self.hot_key_policy!r} "
+                f"(choose from {HOT_KEY_POLICIES})"
+            )
+        if self.hot_key_threshold <= 0:
+            raise ValueError(
+                f"hot_key_threshold must be positive, "
+                f"got {self.hot_key_threshold}"
+            )
+        if self.hot_key_window <= 0:
+            raise ValueError(
+                f"hot_key_window must be positive, got {self.hot_key_window}"
+            )
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.max_shard() >= self.n_shards
+        ):
+            raise ValueError(
+                f"fault plan targets shard {self.fault_plan.max_shard()}, "
+                f"but the server only has {self.n_shards} shard(s)"
+            )
+
+
+class WorkerUnavailable(RuntimeError):
+    """The shard worker is drained or down; the op was not admitted."""
+
+
+class WorkerOverloaded(RuntimeError):
+    """The shard's admission bound is full; the op was shed."""
+
+
+#: Poison pill: the runner dies with an unhandled exception (the
+#: chaos harness's shard-kill — what an uncaught bug in the worker
+#: loop would do).
+_CRASH = object()
+
+
+@dataclass
+class _Wedge:
+    """Queue marker that blocks the runner loop (shard-wedge chaos)."""
+
+    duration: float
 
 
 class _ShardWorker:
@@ -140,23 +268,78 @@ class _ShardWorker:
     runs in its own task, so a stalled origin fetch never head-of-line
     blocks the fresh hits queued behind it.  ``drain()`` stops
     admission and waits for everything already admitted to finish.
+
+    Survival extras: admission is bounded by ``max_inflight`` (past
+    it, :meth:`submit` raises :class:`WorkerOverloaded` — explicit
+    load shedding); the runner stamps a heartbeat each loop turn so
+    the supervisor can tell a wedged worker from an idle one; and
+    :meth:`abort`/:meth:`restart` implement the supervisor's
+    kill-and-rebirth cycle.
     """
 
-    def __init__(self, shard: CacheService):
+    def __init__(self, shard: CacheService, max_inflight: Optional[int] = None):
         self.shard = shard
+        self.max_inflight = max_inflight
         self.queue: asyncio.Queue = asyncio.Queue()
         self._pending: Set[asyncio.Task] = set()
         self._runner: Optional[asyncio.Task] = None
         self._stopped = False
+        #: Loop-time of the runner's last progress mark.
+        self.last_beat = 0.0
+        #: Times this worker has been reborn by the supervisor.
+        self.restarts = 0
+
+    # -- state probes (the supervisor's view) --------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._stopped
+
+    def alive(self) -> bool:
+        return self._runner is not None and not self._runner.done()
+
+    def crashed(self) -> bool:
+        """The runner died outside a drain (unhandled exception)."""
+        return (
+            not self._stopped
+            and self._runner is not None
+            and self._runner.done()
+        )
+
+    def wedged(self, loop_now: float, timeout: float) -> bool:
+        """Work is queued but the runner has not beaten for ``timeout``."""
+        return (
+            not self._stopped
+            and self.alive()
+            and self.queue.qsize() > 0
+            and loop_now - self.last_beat > timeout
+        )
+
+    def load(self) -> int:
+        """Admitted-but-unfinished ops (queued + in flight)."""
+        return self.queue.qsize() + len(self._pending)
+
+    # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
+        self.last_beat = asyncio.get_event_loop().time()
         self._runner = asyncio.ensure_future(self._run())
 
     async def _run(self) -> None:
+        loop = asyncio.get_event_loop()
         while True:
             job = await self.queue.get()
+            self.last_beat = loop.time()
             if job is None:
                 return
+            if job is _CRASH:
+                raise RuntimeError("injected shard crash")
+            if isinstance(job, _Wedge):
+                # Block the loop itself: queued ops pile up and the
+                # heartbeat goes stale — exactly a wedged worker.
+                await asyncio.sleep(job.duration)
+                self.last_beat = loop.time()
+                continue
             coro, future = job
             task = asyncio.ensure_future(self._execute(coro, future))
             self._pending.add(task)
@@ -166,6 +349,15 @@ class _ShardWorker:
     async def _execute(coro, future: asyncio.Future) -> None:
         try:
             result = await coro
+        except asyncio.CancelledError:
+            # The supervisor aborted the worker mid-op: the waiter must
+            # not hang — it gets an unavailable verdict (and the server
+            # turns that into a replica-failover attempt).
+            if not future.done():
+                future.set_exception(
+                    WorkerUnavailable("shard worker aborted")
+                )
+            raise
         except Exception as exc:  # noqa: BLE001 - relayed to the waiter
             if not future.cancelled():
                 future.set_exception(exc)
@@ -174,26 +366,123 @@ class _ShardWorker:
                 future.set_result(result)
 
     async def submit(self, coro):
-        """Enqueue one op on this shard and await its result.
+        """Admit one op on this shard and await its result.
 
-        After :meth:`drain` has begun, the queue is closed; late ops
-        (e.g. a replica-failover retry issued by a request that was
-        already in flight when the drain started) run inline instead of
-        parking behind the sentinel forever.
+        Fails fast instead of enqueueing into a worker that will never
+        run the op: a drained or down worker raises
+        :class:`WorkerUnavailable`; a full one (``max_inflight``
+        admitted-but-unfinished ops) raises :class:`WorkerOverloaded`.
         """
-        if self._stopped:
-            return await coro
+        if self._stopped or not self.alive():
+            coro.close()
+            raise WorkerUnavailable(
+                "shard-drained" if self._stopped else "shard-down"
+            )
+        if self.max_inflight is not None and self.load() >= self.max_inflight:
+            coro.close()
+            raise WorkerOverloaded("admission bound full")
         future = asyncio.get_event_loop().create_future()
-        await self.queue.put((coro, future))
+        # put_nowait: no await between the state checks above and the
+        # enqueue, so a job can never land behind the drain sentinel.
+        self.queue.put_nowait((coro, future))
         return await future
 
     async def drain(self) -> None:
         self._stopped = True
-        await self.queue.put(None)
+        self.queue.put_nowait(None)
         if self._runner is not None:
-            await self._runner
+            try:
+                await self._runner
+            except Exception:  # noqa: BLE001 - crashed runner: nothing to run
+                pass
+        # Jobs stuck behind a crash (the runner died before popping
+        # them) would hang their waiters forever: fail them instead.
+        self._flush_queue()
         if self._pending:
             await asyncio.gather(*self._pending, return_exceptions=True)
+
+    # -- supervisor hooks ----------------------------------------------------
+
+    def inject_crash(self) -> None:
+        """Chaos: the runner dies with an unhandled exception."""
+        self.queue.put_nowait(_CRASH)
+
+    def inject_wedge(self, duration: float) -> None:
+        """Chaos: the runner loop blocks for ``duration`` seconds."""
+        self.queue.put_nowait(_Wedge(float(duration)))
+
+    async def abort(self, drop_queue: bool) -> None:
+        """Tear the worker down (supervisor restart path).
+
+        ``drop_queue`` is the crash case: queued waiters fail fast
+        with :class:`WorkerUnavailable` and in-flight ops are
+        cancelled (the shard "process" died mid-work).  A wedge keeps
+        both — the cache and the admitted work survive a loop stall.
+        """
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            if not runner.done():
+                runner.cancel()
+            try:
+                await runner
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if drop_queue:
+            self._flush_queue()
+            for task in list(self._pending):
+                task.cancel()
+            if self._pending:
+                await asyncio.gather(*self._pending, return_exceptions=True)
+
+    def restart(self) -> None:
+        self.restarts += 1
+        self.start()
+
+    def _flush_queue(self) -> None:
+        while True:
+            try:
+                job = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if job is None or job is _CRASH or isinstance(job, _Wedge):
+                continue
+            coro, future = job
+            coro.close()
+            if not future.done():
+                future.set_exception(WorkerUnavailable("shard worker stopped"))
+
+
+class HotKeyTracker:
+    """Fixed-window request counter flagging keys over a rate threshold.
+
+    ``observe(key, now)`` returns True when the key has already been
+    seen ``threshold`` times inside the current window — the server
+    then sheds or coalesces the request per its hot-key policy.  One
+    window of hysteresis (a key hot in the previous window stays hot)
+    keeps the verdict from flapping at every window boundary.
+    """
+
+    def __init__(self, threshold: int, window: float):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.threshold = int(threshold)
+        self.window = float(window)
+        self._counts: Dict[int, int] = {}
+        self._hot_last_window: Set[int] = set()
+        self._window_end = self.window
+
+    def observe(self, key: int, now: float) -> bool:
+        if now >= self._window_end:
+            self._hot_last_window = {
+                k for k, n in self._counts.items() if n >= self.threshold
+            }
+            self._counts = {}
+            self._window_end = now + self.window
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        return count >= self.threshold or key in self._hot_last_window
 
 
 class _ShardTransport:
@@ -261,9 +550,21 @@ class EdgeCacheServer:
         # Custodian-held TTR state starts exactly like the simulation's.
         for item in self.database.items:
             item.ttr = self.scheme.initial_ttr(item)
+        # Dedicated seeded streams: [seed, 1] jitters retry/restart
+        # backoff, [seed, 2] draws injected origin errors — neither can
+        # perturb the database stream (default_rng(seed)) above.
+        service_rng = np.random.default_rng([cfg.seed, 1])
+        chaos_rng = np.random.default_rng([cfg.seed, 2])
+        retry_backoff = (
+            BackoffPolicy(
+                base=cfg.retry_backoff_base, jitter=0.1, rng=service_rng
+            )
+            if cfg.origin_retries > 0 else None
+        )
         self.resilience = ResilienceManager(
-            retries=0,
+            retries=cfg.origin_retries,
             deadline=cfg.deadline,
+            backoff=retry_backoff,
             suspect_after=cfg.suspect_after,
             cooldown=cfg.breaker_cooldown,
             stats=self.stats,
@@ -282,13 +583,46 @@ class EdgeCacheServer:
                 scheme=self.scheme,
                 resilience=self.resilience,
                 stats=self.stats,
+                hedge_after=cfg.hedge_after,
             )
             for region_id in self.directory.region_ids()
         }
         self.workers: Dict[int, _ShardWorker] = {
-            region_id: _ShardWorker(shard)
+            region_id: _ShardWorker(shard, max_inflight=cfg.max_inflight)
             for region_id, shard in self.shards.items()
         }
+        self.supervisor: Optional[ShardSupervisor] = None
+        if cfg.supervise:
+            self.supervisor = ShardSupervisor(
+                workers=self.workers,
+                shards=self.shards,
+                directory=self.directory,
+                clock=self.clock,
+                stats=self.stats,
+                backoff=BackoffPolicy(
+                    base=cfg.restart_backoff_base, jitter=0.1,
+                    rng=service_rng,
+                ),
+                heartbeat_timeout=cfg.heartbeat_timeout,
+                warm_rebuild=cfg.warm_rebuild,
+                event_hook=self._resilience_event,
+            )
+        self.injector = ServiceFaultInjector(
+            cfg.fault_plan if cfg.fault_plan is not None
+            else ServiceFaultPlan(),
+            workers=self.workers,
+            origin=self.origin,
+            clock=self.clock,
+            stats=self.stats,
+            rng=chaos_rng,
+            event_hook=self._resilience_event,
+        )
+        self._hot_keys: Optional[HotKeyTracker] = (
+            HotKeyTracker(cfg.hot_key_threshold, cfg.hot_key_window)
+            if cfg.hot_key_policy != "off" else None
+        )
+        #: Hot-key coalescing: key -> shared future of the lead request.
+        self._hot_inflight: Dict[int, asyncio.Future] = {}
         self.port = cfg.port  # rebound to the real port after start()
         self.bus = None
         self._dashboard = None
@@ -311,6 +645,9 @@ class EdgeCacheServer:
         self._build_bus()
         for worker in self.workers.values():
             worker.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
+        self.injector.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.cfg.host, self.cfg.port
         )
@@ -342,7 +679,14 @@ class EdgeCacheServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Chaos and supervision stop first: no new faults land and no
+        # restart cycle races the drain.
+        await self.injector.stop()
+        if self.supervisor is not None:
+            await self.supervisor.stop()
         # Everything admitted (queued or in flight) finishes first ...
+        # (a chaos-stalled origin stays stalled: parked ops resolve
+        # through their deadlines, so the drain still terminates).
         await asyncio.gather(*(w.drain() for w in self.workers.values()))
         # ... handlers get a beat to flush their responses ...
         await asyncio.sleep(0)
@@ -406,39 +750,73 @@ class EdgeCacheServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One connection: pipelined dispatch, in-order responses.
+
+        Requests are dispatched the moment they are read — a client
+        that pipelines N requests gets N concurrent ops instead of
+        head-of-line blocking behind the first slow one (without
+        this, open-loop overload piles up in socket buffers and never
+        reaches the shard admission bounds that exist to shed it).
+        Responses still go out in request order: a flusher task awaits
+        each dispatch future in sequence.
+        """
         task = asyncio.current_task()
         self._connections.add(task)
         self._writers.add(writer)
         self.stats.count("service.connections")
+        pending: asyncio.Queue = asyncio.Queue()
+        flusher = asyncio.ensure_future(self._flush_responses(writer, pending))
         try:
             while not self._shutdown.is_set():
                 line = await reader.readline()
                 if not line:
                     break
-                started = self.clock.now()
                 self._busy.add(writer)
-                try:
-                    try:
-                        request = json.loads(line)
-                        response = await self._dispatch(request)
-                    except (ValueError, KeyError, TypeError) as exc:
-                        response = {"ok": False, "error": str(exc)}
-                    response["latency_ms"] = round(
-                        (self.clock.now() - started) * 1e3, 3
+                pending.put_nowait(
+                    asyncio.ensure_future(
+                        self._process(line, self.clock.now())
                     )
-                    writer.write(json.dumps(response).encode() + b"\n")
-                    await writer.drain()
-                finally:
-                    self._busy.discard(writer)
+                )
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-exchange; nothing to flush
         finally:
+            pending.put_nowait(None)
+            try:
+                await flusher
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away; drop the unflushed tail
+            self._busy.discard(writer)
             self._writers.discard(writer)
             self._connections.discard(task)
             writer.close()
 
+    async def _flush_responses(
+        self, writer: asyncio.StreamWriter, pending: asyncio.Queue
+    ) -> None:
+        while True:
+            future = await pending.get()
+            if future is None:
+                return
+            response = await future
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+            if pending.empty():
+                self._busy.discard(writer)
+
+    async def _process(self, line: bytes, started: float) -> dict:
+        try:
+            request = json.loads(line)
+            response = await self._dispatch(request)
+        except (ValueError, KeyError, TypeError) as exc:
+            response = {"ok": False, "error": str(exc)}
+        response["latency_ms"] = round(
+            (self.clock.now() - started) * 1e3, 3
+        )
+        return response
+
     async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
+        self.stats.count("service.requests")
         if op == "get":
             return (await self._get(int(request["key"]))).to_dict()
         if op == "put":
@@ -446,8 +824,8 @@ class EdgeCacheServer:
         if op == "invalidate":
             key = int(request["key"])
             home = self.directory.home_region(key)
-            response = await self.workers[home].submit(
-                self._invalidate(key, home)
+            response = await self._submit(
+                home, self._invalidate(key, home), op="invalidate", key=key
             )
             return response.to_dict()
         if op == "stats":
@@ -455,20 +833,87 @@ class EdgeCacheServer:
         if op == "ping":
             return {"op": "ping", "ok": True, "t": self.clock.now()}
         if op == "chaos":
-            return self._chaos(request.get("action"))
+            return self._chaos(request)
         raise ValueError(f"unknown op {op!r}")
 
+    async def _submit(
+        self, shard_id: int, coro, *, op: str, key: int
+    ) -> CacheResponse:
+        """Admit one op on a shard worker; refusals become responses.
+
+        A full admission bound sheds the op (``overloaded``, served
+        class ``shed``); a down or drained worker fails it fast
+        (``unavailable``) — in both cases the client gets an explicit
+        verdict instead of a hung request.
+        """
+        try:
+            return await self.workers[shard_id].submit(coro)
+        except WorkerOverloaded:
+            self.stats.count("service.shed")
+            self.stats.count("service.shed.queue_full")
+            return CacheResponse(
+                op, key, "overloaded", shard_id,
+                served_class="shed", extra={"reason": "queue-full"},
+            )
+        except WorkerUnavailable as exc:
+            self.stats.count("service.worker_unavailable")
+            return CacheResponse(
+                op, key, "unavailable", shard_id,
+                served_class="failed", extra={"reason": str(exc)},
+            )
+
     async def _get(self, key: int) -> CacheResponse:
+        if self._hot_keys is not None and self._hot_keys.observe(
+            key, self.clock.now()
+        ):
+            if self.cfg.hot_key_policy == "shed":
+                self.stats.count("service.shed")
+                self.stats.count("service.shed.hot_key")
+                return CacheResponse(
+                    "get", key, "overloaded",
+                    self.directory.home_region(key),
+                    served_class="shed", extra={"reason": "hot-key"},
+                )
+            # Coalesce: followers of a hot key share the lead
+            # request's response instead of each crossing the shard.
+            lead = self._hot_inflight.get(key)
+            if lead is not None:
+                self.stats.count("service.hot_key_coalesced")
+                return await asyncio.shield(lead)
+            future = asyncio.get_event_loop().create_future()
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            self._hot_inflight[key] = future
+            try:
+                response = await self._routed_get(key)
+                future.set_result(response)
+                return response
+            except BaseException as exc:
+                future.set_exception(exc)
+                raise
+            finally:
+                self._hot_inflight.pop(key, None)
+                if not future.done():  # pragma: no cover - defensive
+                    future.cancel()
+        return await self._routed_get(key)
+
+    async def _routed_get(self, key: int) -> CacheResponse:
         home = self.directory.home_region(key)
-        response = await self.workers[home].submit(self.shards[home].get(key))
-        if not response.ok:
+        response = await self._submit(
+            home, self.shards[home].get(key), op="get", key=key
+        )
+        # A shed op must stay shed: failing it over to the replica
+        # would turn load shedding into load amplification.
+        if not response.ok and response.served_class != "shed":
             replica = self.directory.replica_region(key)
             if replica != home:
                 # §2.4 failover: one shot at the replica custodian,
                 # which may hold a pushed copy even when the home path
                 # is dark.  Steered: no breaker re-consultation there.
-                fallback = await self.workers[replica].submit(
-                    self.shards[replica].get(key, steered=True)
+                fallback = await self._submit(
+                    replica, self.shards[replica].get(key, steered=True),
+                    op="get", key=key,
                 )
                 if fallback.ok:
                     fallback.extra["failover"] = "replica"
@@ -478,7 +923,9 @@ class EdgeCacheServer:
 
     async def _put(self, key: int) -> CacheResponse:
         home = self.directory.home_region(key)
-        return await self.workers[home].submit(self._commit(key, home))
+        return await self._submit(
+            home, self._commit(key, home), op="put", key=key
+        )
 
     async def _commit(self, key: int, home: int) -> CacheResponse:
         return self.shards[home].put(key, updater=-1)
@@ -492,14 +939,42 @@ class EdgeCacheServer:
                 self.stats.count("service.purge_flood")
         return response
 
-    def _chaos(self, action: Optional[str]) -> dict:
-        if action == "stall":
-            self.origin.stall()
-        elif action == "resume":
-            self.origin.resume()
-        else:
-            raise ValueError(f"unknown chaos action {action!r}")
-        return {"op": "chaos", "ok": True, "stalled": self.origin.stalled}
+    def _chaos(self, request: dict) -> dict:
+        """The chaos wire op: stall/resume aliases + arbitrary specs.
+
+        ``stall``/``resume`` map onto immediate origin fault specs;
+        ``inject`` parses any compact fault expression (``at`` is
+        relative to now).  Unknown actions are rejected with a
+        structured error echoing the supported grammar.
+        """
+        action = request.get("action")
+        if action in ("stall", "resume"):
+            self.injector.apply(ServiceFaultSpec(kind=f"origin-{action}"))
+            return {
+                "op": "chaos", "ok": True, "action": action,
+                "stalled": self.origin.stalled,
+            }
+        if action == "inject":
+            try:
+                spec = ServiceFaultPlan.parse_spec(
+                    str(request.get("spec", ""))
+                )
+            except ValueError as exc:
+                return {
+                    "op": "chaos", "ok": False, "error": str(exc),
+                    "grammar": list(CHAOS_GRAMMAR),
+                }
+            self.injector.inject(spec)
+            return {
+                "op": "chaos", "ok": True, "action": "inject",
+                "spec": spec.to_dict(),
+            }
+        return {
+            "op": "chaos", "ok": False,
+            "error": f"unknown chaos action {action!r}",
+            "actions": ["stall", "resume", "inject"],
+            "grammar": list(CHAOS_GRAMMAR),
+        }
 
     # -- telemetry -----------------------------------------------------------
 
@@ -553,6 +1028,18 @@ class EdgeCacheServer:
             if (bytes_hit + bytes_origin) else 0.0
         )
         values["service.open_connections"] = float(len(self._connections))
+        sheds = values.get("service.shed", 0.0)
+        values["service.shed_ratio"] = (
+            sheds / (gets + sheds) if (gets + sheds) else 0.0
+        )
+        down = self.supervisor.down if self.supervisor is not None else set()
+        shards_up = 0.0
+        for shard_id, worker in self.workers.items():
+            up = 1.0 if worker.alive() and shard_id not in down else 0.0
+            shards_up += up
+            values[f"service.shard{shard_id}.up"] = up
+            values[f"service.shard{shard_id}.inflight"] = float(worker.load())
+        values["service.shards_up"] = shards_up
         for shard in self.shards.values():
             values.update(shard.telemetry())
         values.update(self.resilience.telemetry())
@@ -571,8 +1058,23 @@ class EdgeCacheServer:
                 "fetches": self.origin.fetches,
                 "validations": self.origin.validations,
                 "puts": self.origin.puts,
+                "errors": self.origin.errors,
                 "stalled": self.origin.stalled,
+                "error_rate": self.origin.error_rate,
+                "extra_latency": self.origin.extra_latency,
             },
+            "supervision": {
+                "enabled": self.supervisor is not None,
+                "down": sorted(
+                    self.supervisor.down
+                ) if self.supervisor is not None else [],
+                "restarts": {
+                    str(shard_id): worker.restarts
+                    for shard_id, worker in self.workers.items()
+                    if worker.restarts
+                },
+            },
+            "chaos_events": self.injector.applied,
             "telemetry": self._telemetry_row(),
         }
 

@@ -96,6 +96,23 @@ class TestCoreImportIsolation:
         assert result.returncode == 0, result.stderr
         assert "SERVICE-CLEAN" in result.stdout
 
+    def test_survival_layer_imports_without_sim_or_net(self):
+        """Supervision, chaos, and fault plans live service-side only."""
+        result = run_blocked(
+            "import repro.service.supervision\n"
+            "import repro.service.chaos\n"
+            "import repro.service.faultplan\n"
+            "from repro.service import (\n"
+            "    ServiceFaultInjector, ServiceFaultPlan, ShardSupervisor,\n"
+            ")\n"
+            "plan = ServiceFaultPlan.parse(['shard-kill:at=1,shard=0'])\n"
+            "assert plan.max_shard() == 0\n"
+            "assert ServiceFaultPlan.from_json(plan.to_json()) == plan\n"
+            "print('SURVIVAL-CLEAN')\n"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "SURVIVAL-CLEAN" in result.stdout
+
     def test_blocker_actually_blocks(self):
         """Sanity: the meta-path hook really refuses repro.sim."""
         result = run_blocked("import repro.sim\n")

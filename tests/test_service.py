@@ -572,11 +572,40 @@ class TestServeProcess:
                    live.read_text().strip().splitlines()]
         assert records[-1]["record"] == "end"  # drain flushed the export
 
-    def test_duration_auto_shutdown(self):
-        proc = self.spawn("--duration", "0.5")
+    def test_sigint_mid_load_drains_and_exits_zero(self):
+        """SIGINT gives the same drain guarantee as SIGTERM: the
+        in-flight request still gets its response, then exit 0."""
+        proc = self.spawn("--deadline", "0.3")
+        try:
+            port = self.wait_port(proc)
+            with socket.create_connection(("127.0.0.1", port), timeout=5) as s:
+                fh = s.makefile()
+                # park a request on a stalled origin, then interrupt
+                s.sendall(b'{"op": "chaos", "action": "stall"}\n')
+                assert json.loads(fh.readline())["stalled"] is True
+                s.sendall(b'{"op": "get", "key": 3}\n')
+                time.sleep(0.05)  # op admitted, parked on the origin
+                proc.send_signal(signal.SIGINT)
+                response = json.loads(fh.readline())
+                assert response["status"] == "deadline"
+                assert fh.readline() == ""  # closed after the drain
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_duration_auto_shutdown_drains(self, tmp_path):
+        live = tmp_path / "live.jsonl"
+        proc = self.spawn("--duration", "0.5",
+                          "--live-export", str(live),
+                          "--telemetry-interval", "0.05")
         try:
             assert proc.wait(timeout=15) == 0
         finally:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+        records = [json.loads(line) for line in
+                   live.read_text().strip().splitlines()]
+        assert records[-1]["record"] == "end"  # drain flushed the export
